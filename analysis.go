@@ -1,0 +1,30 @@
+package noisypull
+
+import "noisypull/internal/analysis"
+
+// AnalysisParams are the inputs to the paper's weak-opinion analysis
+// (Lemmas 28 and 36): population, source counts (s1 > s0 by the paper's
+// symmetry convention), uniform noise level on the protocol's alphabet, and
+// the per-weak-opinion sample budget M.
+type AnalysisParams = analysis.Params
+
+// PredictSFWeakOpinion returns the closed-form probability that an SF weak
+// opinion (formed after the two listening phases) equals the correct
+// opinion — the quantity Lemma 23 lower-bounds, computed exactly from the
+// Lemma 28 observation law.
+func PredictSFWeakOpinion(p AnalysisParams) (float64, error) {
+	return analysis.PredictSF(p)
+}
+
+// PredictSSFWeakOpinion is the SSF analogue, from the Lemma 36 law.
+func PredictSSFWeakOpinion(p AnalysisParams) (float64, error) {
+	return analysis.PredictSSF(p)
+}
+
+// BoostTrajectory iterates the mean-field map of SF's Majority Boosting
+// phase (the drift behind Lemma 33): starting from a fraction q0 of correct
+// opinions, with w messages per sub-phase under δ-uniform binary noise, it
+// returns the expected fraction after each sub-phase.
+func BoostTrajectory(q0 float64, w int, delta float64, subPhases int) []float64 {
+	return analysis.BoostTrajectory(q0, w, delta, subPhases)
+}

@@ -1,0 +1,193 @@
+package noisypull_test
+
+// One benchmark per reproduction experiment (E1–E12, DESIGN.md §4): each
+// iteration regenerates the corresponding paper artifact at quick scale.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Ablation* benchmarks quantify the design choices called out in
+// DESIGN.md §3: the aggregate multinomial observation backend vs exact
+// per-sample observation, and the cost of the Theorem 8 artificial-noise
+// path.
+
+import (
+	"testing"
+
+	"noisypull"
+	"noisypull/internal/experiment"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string, trials int) {
+	b.Helper()
+	e, ok := experiment.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		art, err := e.Run(experiment.Options{
+			Scale:  experiment.ScaleQuick,
+			Trials: trials,
+			Seed:   uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(art.Tables) == 0 && len(art.Series) == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+func BenchmarkE1FCurve(b *testing.B)     { benchExperiment(b, "E1", 1) }
+func BenchmarkE2LogTime(b *testing.B)    { benchExperiment(b, "E2", 2) }
+func BenchmarkE3SpeedupH(b *testing.B)   { benchExperiment(b, "E3", 1) }
+func BenchmarkE4NoiseSweep(b *testing.B) { benchExperiment(b, "E4", 2) }
+func BenchmarkE5BiasSweep(b *testing.B)  { benchExperiment(b, "E5", 2) }
+func BenchmarkE6Tightness(b *testing.B)  { benchExperiment(b, "E6", 1) }
+func BenchmarkE7SelfStab(b *testing.B)   { benchExperiment(b, "E7", 1) }
+func BenchmarkE8Overhead(b *testing.B)   { benchExperiment(b, "E8", 1) }
+func BenchmarkE9Plurality(b *testing.B)  { benchExperiment(b, "E9", 1) }
+func BenchmarkE10Reduction(b *testing.B) { benchExperiment(b, "E10", 1) }
+func BenchmarkE11Baselines(b *testing.B) { benchExperiment(b, "E11", 1) }
+func BenchmarkE12Separation(b *testing.B) {
+	benchExperiment(b, "E12", 1)
+}
+
+// benchRound measures a full SF run at the given shape, reporting
+// rounds/op via the protocol schedule.
+func benchRun(b *testing.B, n, h int, backend noisypull.Backend) {
+	b.Helper()
+	nm, err := noisypull.UniformNoise(2, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := noisypull.Run(noisypull.Config{
+			N: n, H: h, Sources1: 1,
+			Noise:    nm,
+			Protocol: noisypull.NewSourceFilter(),
+			Seed:     uint64(i + 1),
+			Backend:  backend,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Rounds), "rounds/op")
+	}
+}
+
+// AblationBackend compares the two observation backends at the same shape
+// (DESIGN.md §3 choice 1): the aggregate path costs O(|Σ|²) per agent-round
+// regardless of h, the exact path O(h).
+func BenchmarkAblationBackendExact(b *testing.B) {
+	benchRun(b, 256, 64, noisypull.BackendExact)
+}
+
+func BenchmarkAblationBackendAggregate(b *testing.B) {
+	benchRun(b, 256, 64, noisypull.BackendAggregate)
+}
+
+func BenchmarkAblationBackendExactHn(b *testing.B) {
+	benchRun(b, 256, 256, noisypull.BackendExact)
+}
+
+func BenchmarkAblationBackendAggregateHn(b *testing.B) {
+	benchRun(b, 256, 256, noisypull.BackendAggregate)
+}
+
+// AblationArtificialNoise measures the overhead of the Theorem 8 reduction
+// path (per-message artificial re-randomization) against a uniform channel
+// of the same effective level.
+func BenchmarkAblationUniformChannel(b *testing.B) {
+	nm, err := noisypull.UniformNoise(2, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchChannel(b, nm)
+}
+
+func BenchmarkAblationReducedChannel(b *testing.B) {
+	nm, err := noisypull.AsymmetricNoise(0.1, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchChannel(b, nm)
+}
+
+func benchChannel(b *testing.B, nm *noisypull.NoiseMatrix) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := noisypull.Run(noisypull.Config{
+			N: 256, H: 64, Sources1: 1,
+			Noise:    nm,
+			Protocol: noisypull.NewSourceFilter(),
+			Seed:     uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReduceNoise measures the Theorem 8 decomposition itself
+// (matrix inversion + product + validation) on a 4-symbol channel.
+func BenchmarkReduceNoise(b *testing.B) {
+	nm, err := noisypull.NoiseFromRows([][]float64{
+		{0.85, 0.05, 0.04, 0.06},
+		{0.02, 0.90, 0.05, 0.03},
+		{0.06, 0.01, 0.88, 0.05},
+		{0.03, 0.04, 0.02, 0.91},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := noisypull.ReduceNoise(nm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13Theory(b *testing.B)      { benchExperiment(b, "E13", 2) }
+func BenchmarkE14Alternating(b *testing.B) { benchExperiment(b, "E14", 2) }
+func BenchmarkE15Backend(b *testing.B)     { benchExperiment(b, "E15", 6) }
+func BenchmarkE16Calibration(b *testing.B) { benchExperiment(b, "E16", 3) }
+
+// BenchmarkLargeScaleHn showcases the aggregate backend at population
+// scale: every one of 20k agents observes all 20k agents every round.
+// A naive per-sample simulator would need 4·10⁸ draws per round; the
+// aggregate backend runs the whole protocol in seconds.
+func BenchmarkLargeScaleHn(b *testing.B) {
+	const n = 20000
+	nm, err := noisypull.UniformNoise(2, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := noisypull.Run(noisypull.Config{
+			N: n, H: n, Sources1: 1,
+			Noise:    nm,
+			Protocol: noisypull.NewSourceFilter(),
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("large-scale run failed: %d/%d", res.FinalCorrect, n)
+		}
+		b.ReportMetric(float64(res.Rounds), "rounds/op")
+	}
+}
+
+func BenchmarkE17Async(b *testing.B) { benchExperiment(b, "E17", 2) }
+
+func BenchmarkE18Topology(b *testing.B) { benchExperiment(b, "E18", 2) }
+
+func BenchmarkE19Memory(b *testing.B) { benchExperiment(b, "E19", 1) }

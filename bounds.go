@@ -1,0 +1,53 @@
+package noisypull
+
+import (
+	"noisypull/internal/bound"
+	"noisypull/internal/experiment"
+)
+
+// BoundParams collects the parameters of the paper's round-complexity
+// bounds.
+type BoundParams = bound.Params
+
+// LowerBound evaluates the Theorem 3 lower bound (Boczkowski et al. 2018):
+// Ω(nδ/(h·s²·(1−|Σ|δ)²)) rounds for any protocol under δ-lower-bounded
+// noise.
+func LowerBound(p BoundParams) (float64, error) {
+	return bound.LowerBound(p)
+}
+
+// SFUpperBound evaluates the Theorem 4 upper bound achieved by SF.
+func SFUpperBound(p BoundParams) (float64, error) {
+	return bound.SFUpperBound(p)
+}
+
+// SSFUpperBound evaluates the Theorem 5 upper bound achieved by SSF.
+func SSFUpperBound(p BoundParams) (float64, error) {
+	return bound.SSFUpperBound(p)
+}
+
+// Experiment re-exports the reproduction-harness experiment type: each one
+// regenerates a figure or theorem-claim table of the paper (see DESIGN.md).
+type Experiment = experiment.Experiment
+
+// ExperimentOptions configures a harness run.
+type ExperimentOptions = experiment.Options
+
+// ExperimentArtifact is the output of one experiment.
+type ExperimentArtifact = experiment.Artifact
+
+// Experiment scales.
+const (
+	ScaleQuick = experiment.ScaleQuick
+	ScaleFull  = experiment.ScaleFull
+)
+
+// Experiments returns the full reproduction suite E1–E12 in index order.
+func Experiments() []Experiment {
+	return experiment.All()
+}
+
+// ExperimentByID looks up one experiment ("E1" … "E12").
+func ExperimentByID(id string) (Experiment, bool) {
+	return experiment.ByID(id)
+}

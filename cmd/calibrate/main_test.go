@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBinaryAsymmetric(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-p01", "0.1", "-p10", "0.25", "-samples", "20000"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"true channel N:", "estimated N̂", "classification:",
+		"Theorem 8 reduction", "artificial noise P", "SF : m=",
+		"bits of per-agent state",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFourSymbolUniform(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alphabet", "4", "-delta", "0.08", "-samples", "20000"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "SSF: m=") {
+		t.Fatalf("SSF parameters missing:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-p01", "0.1"}, // p10 missing
+		{"-p01", "0.1", "-p10", "0.1", "-alphabet", "4"}, // binary flags on 4-symbol
+		{"-delta", "0.6"}, // invalid level
+		{"-samples", "0"}, // no calibration data
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v did not error", args)
+		}
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if abs(-3) != 3 || abs(3) != 3 || abs(0) != 0 {
+		t.Fatal("abs wrong")
+	}
+}

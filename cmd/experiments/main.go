@@ -1,0 +1,154 @@
+// Command experiments regenerates the paper's figures and theorem-claim
+// tables (experiments E1–E12, see DESIGN.md). By default it runs the whole
+// suite at quick scale and prints tables, ASCII figures, and shape notes;
+// -scale full uses the grids recorded in EXPERIMENTS.md.
+//
+//	experiments                       # whole suite, quick
+//	experiments -run E2,E12 -v        # two experiments with progress
+//	experiments -scale full -csv out/ # full scale, series also as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"noisypull/internal/experiment"
+	"noisypull/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		scaleName = fs.String("scale", "quick", "grid scale: quick or full")
+		runIDs    = fs.String("run", "all", "comma-separated experiment ids (e.g. E1,E7) or 'all'")
+		trials    = fs.Int("trials", 0, "trials per grid point (0 = per-experiment default)")
+		seed      = fs.Uint64("seed", 1, "base random seed")
+		csvDir    = fs.String("csv", "", "directory to also write series/tables as CSV")
+		verbose   = fs.Bool("v", false, "print per-grid-point progress")
+		plots     = fs.Bool("plots", true, "render ASCII plots for experiment series")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiment.ScaleQuick
+	case "full":
+		scale = experiment.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	var selected []experiment.Experiment
+	if *runIDs == "all" {
+		selected = experiment.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiment.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(experiment.IDs(), ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	opts := experiment.Options{
+		Scale:  scale,
+		Trials: *trials,
+		Seed:   *seed,
+	}
+	if *verbose {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(out, "  … "+format+"\n", args...)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Fprintf(out, "=== %s — %s\n", e.ID, e.Title)
+		fmt.Fprintf(out, "    reproduces: %s (scale: %s)\n\n", e.PaperRef, scale)
+		start := time.Now()
+		art, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, tb := range art.Tables {
+			if _, err := tb.WriteTo(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		if *plots && len(art.Series) > 0 {
+			plot := &report.Plot{Title: art.Title, Width: 64, Height: 14}
+			for _, s := range art.Series {
+				plot.Add(s)
+			}
+			if _, err := plot.WriteTo(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		for _, note := range art.Notes {
+			fmt.Fprintf(out, "  note: %s\n", note)
+		}
+		fmt.Fprintf(out, "  done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, art); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, art *experiment.Artifact) error {
+	if len(art.Series) > 0 {
+		f, err := os.Create(filepath.Join(dir, art.ID+"_series.csv"))
+		if err != nil {
+			return err
+		}
+		if err := report.WriteSeriesCSV(f, art.Series...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	for i, tb := range art.Tables {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", art.ID, i+1)))
+		if err != nil {
+			return err
+		}
+		if err := tb.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "E1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"=== E1", "Figure 1", "note:", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultipleWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-run", "E1", "-csv", dir, "-plots=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	series, err := os.ReadFile(filepath.Join(dir, "E1_series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(series), "series,x,y\n") {
+		t.Fatalf("series CSV malformed: %q", series[:32])
+	}
+	if _, err := os.Stat(filepath.Join(dir, "E1_table1.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-run", "E99"},
+		{"-scale", "medium"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v did not error", args)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command fcurve regenerates the data behind the paper's Figure 1: the
+// artificial-noise level f(δ) of Definition 7 for chosen alphabet sizes.
+//
+//	fcurve                 # ASCII plot for d = 2 and d = 4, like the figure
+//	fcurve -d 2,3,4 -csv   # CSV rows delta,f for each alphabet size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"noisypull/internal/noise"
+	"noisypull/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fcurve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fcurve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		dList  = fs.String("d", "2,4", "comma-separated alphabet sizes")
+		points = fs.Int("points", 200, "samples per curve")
+		asCSV  = fs.Bool("csv", false, "emit CSV instead of an ASCII plot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *points < 2 {
+		return fmt.Errorf("need at least 2 points, got %d", *points)
+	}
+
+	var ds []int
+	for _, part := range strings.Split(*dList, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("alphabet size %q: %w", part, err)
+		}
+		if d < 2 {
+			return fmt.Errorf("alphabet size %d < 2", d)
+		}
+		ds = append(ds, d)
+	}
+
+	var series []report.Series
+	for _, d := range ds {
+		limit := 1 / float64(d)
+		xs := make([]float64, 0, *points)
+		ys := make([]float64, 0, *points)
+		for i := 0; i < *points; i++ {
+			delta := limit * float64(i) / float64(*points)
+			xs = append(xs, delta)
+			ys = append(ys, noise.F(delta, d))
+		}
+		series = append(series, report.NewSeries(fmt.Sprintf("d=%d", d), xs, ys))
+	}
+
+	if *asCSV {
+		return report.WriteSeriesCSV(out, series...)
+	}
+	plot := &report.Plot{
+		Title:  "f(delta) — artificial-noise level of Theorem 8 (paper Figure 1)",
+		XLabel: "delta",
+		YLabel: "f(delta)",
+		Width:  72,
+		Height: 20,
+	}
+	for _, s := range series {
+		plot.Add(s)
+	}
+	_, err := plot.WriteTo(out)
+	return err
+}

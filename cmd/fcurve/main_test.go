@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultPlot(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"f(delta)", "d=2", "d=4", "*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-csv", "-d", "3", "-points", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "series,x,y\n") {
+		t.Fatalf("CSV header missing: %q", out)
+	}
+	if strings.Count(out, "d=3") != 5 {
+		t.Fatalf("expected 5 rows for d=3:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-d", "1"},
+		{"-d", "abc"},
+		{"-points", "1"},
+		{"-nonsense"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v did not error", args)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Command noisypull runs a single simulation of the noisy PULL(h) model
+// from command-line flags and reports the outcome.
+//
+// Examples:
+//
+//	# One informed agent among 1000, everyone senses everyone, 20% noise.
+//	noisypull -n 1000 -samples 1000 -s1 1 -delta 0.2
+//
+//	# Self-stabilizing protocol recovering from a corrupted start.
+//	noisypull -n 500 -samples 32 -s1 1 -delta 0.1 -protocol ssf -corrupt wrong
+//
+//	# Asymmetric channel, automatically reduced via Theorem 8.
+//	noisypull -n 500 -samples 64 -s1 1 -p01 0.1 -p10 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"noisypull"
+	"noisypull/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "noisypull:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("noisypull", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		n         = fs.Int("n", 1000, "population size")
+		h         = fs.Int("samples", 32, "samples per agent per round (the paper's h)")
+		s1        = fs.Int("s1", 1, "sources preferring opinion 1")
+		s0        = fs.Int("s0", 0, "sources preferring opinion 0")
+		delta     = fs.Float64("delta", 0.2, "uniform noise level (ignored if -p01/-p10 set)")
+		p01       = fs.Float64("p01", -1, "asymmetric channel: P(0 observed as 1)")
+		p10       = fs.Float64("p10", -1, "asymmetric channel: P(1 observed as 0)")
+		protoName = fs.String("protocol", "sf", "protocol: sf, ssf, voter, majority, trustbit")
+		seed      = fs.Uint64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
+		corrupt   = fs.String("corrupt", "none", "adversarial initialization: none, wrong, random")
+		maxRounds = fs.Int("max-rounds", 0, "round cap for non-terminating protocols (0 = default)")
+		window    = fs.Int("window", 0, "stability window in rounds (0 = protocol default)")
+		c1        = fs.Float64("c1", 0, "protocol constant c1 override (0 = calibrated default)")
+		history   = fs.Bool("history", false, "plot the per-round fraction of correct opinions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alphabet := 2
+	if *protoName == "ssf" || *protoName == "trustbit" {
+		alphabet = 4
+	}
+
+	var nm *noisypull.NoiseMatrix
+	var err error
+	if *p01 >= 0 || *p10 >= 0 {
+		if alphabet != 2 {
+			return fmt.Errorf("-p01/-p10 define a binary channel; protocol %q uses alphabet 4", *protoName)
+		}
+		if *p01 < 0 || *p10 < 0 {
+			return fmt.Errorf("set both -p01 and -p10 for an asymmetric channel")
+		}
+		nm, err = noisypull.AsymmetricNoise(*p01, *p10)
+	} else {
+		nm, err = noisypull.UniformNoise(alphabet, *delta)
+	}
+	if err != nil {
+		return err
+	}
+
+	var proto noisypull.Protocol
+	switch *protoName {
+	case "sf":
+		var opts []noisypull.SFOption
+		if *c1 > 0 {
+			opts = append(opts, noisypull.WithSFConstant(*c1))
+		}
+		proto = noisypull.NewSourceFilter(opts...)
+	case "ssf":
+		var opts []noisypull.SSFOption
+		if *c1 > 0 {
+			opts = append(opts, noisypull.WithSSFConstant(*c1))
+		}
+		proto = noisypull.NewSelfStabilizing(opts...)
+	case "voter":
+		proto = noisypull.VoterBaseline
+	case "majority":
+		proto = noisypull.MajorityBaseline
+	case "trustbit":
+		proto = noisypull.TrustBitBaseline
+	default:
+		return fmt.Errorf("unknown protocol %q", *protoName)
+	}
+
+	var mode noisypull.CorruptionMode
+	switch *corrupt {
+	case "none":
+		mode = noisypull.CorruptNone
+	case "wrong":
+		mode = noisypull.CorruptWrongConsensus
+	case "random":
+		mode = noisypull.CorruptRandom
+	default:
+		return fmt.Errorf("unknown corruption mode %q", *corrupt)
+	}
+
+	cfg := noisypull.Config{
+		N: *n, H: *h, Sources1: *s1, Sources0: *s0,
+		Noise:           nm,
+		Protocol:        proto,
+		Seed:            *seed,
+		MaxRounds:       *maxRounds,
+		StabilityWindow: *window,
+		Corruption:      mode,
+		TrackHistory:    *history,
+	}
+	if err := cfg.Check(); err != nil {
+		return err
+	}
+
+	res, err := noisypull.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "protocol:          %s\n", *protoName)
+	fmt.Fprintf(out, "population:        n=%d  h=%d  sources=(%d,%d)\n", *n, *h, *s1, *s0)
+	fmt.Fprintf(out, "correct opinion:   %d\n", res.CorrectOpinion)
+	fmt.Fprintf(out, "rounds executed:   %d\n", res.Rounds)
+	fmt.Fprintf(out, "converged:         %v\n", res.Converged)
+	if res.FirstAllCorrect > 0 {
+		fmt.Fprintf(out, "all correct since: round %d\n", res.FirstAllCorrect)
+	}
+	fmt.Fprintf(out, "final correct:     %d / %d agents\n", res.FinalCorrect, *n)
+
+	if *history && len(res.History) > 0 {
+		xs := make([]float64, len(res.History))
+		ys := make([]float64, len(res.History))
+		for i, c := range res.History {
+			xs[i] = float64(i + 1)
+			ys[i] = float64(c) / float64(*n)
+		}
+		plot := &report.Plot{
+			Title:  "fraction of agents holding the correct opinion",
+			XLabel: "round",
+			YLabel: "fraction correct",
+		}
+		plot.Add(report.NewSeries("correct fraction", xs, ys))
+		if _, err := plot.WriteTo(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

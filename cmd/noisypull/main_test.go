@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSFDefaultsSmall(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "200", "-samples", "200", "-s1", "1", "-delta", "0.15", "-seed", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"protocol:", "converged:", "correct opinion:", "final correct:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHistoryPlot(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "150", "-samples", "150", "-s1", "1", "-delta", "0.1", "-history"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fraction of agents") {
+		t.Fatalf("history plot missing:\n%s", sb.String())
+	}
+}
+
+func TestRunSSFCorrupted(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "150", "-samples", "32", "-s1", "1", "-delta", "0.1",
+		"-protocol", "ssf", "-corrupt", "wrong"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "converged:         true") {
+		t.Fatalf("SSF run did not report convergence:\n%s", sb.String())
+	}
+}
+
+func TestRunBaselineWithBudget(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "100", "-samples", "8", "-s1", "1", "-delta", "0.2",
+		"-protocol", "voter", "-max-rounds", "30"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rounds executed:   30") &&
+		!strings.Contains(sb.String(), "converged:         true") {
+		t.Fatalf("voter run output unexpected:\n%s", sb.String())
+	}
+}
+
+func TestRunAsymmetricChannel(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "150", "-samples", "32", "-s1", "1",
+		"-p01", "0.05", "-p10", "0.12"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "converged:") {
+		t.Fatalf("asymmetric run output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "nope"},
+		{"-corrupt", "nope"},
+		{"-p01", "0.1"}, // p10 missing
+		{"-protocol", "ssf", "-p01", "0.1", "-p10", "0.1"}, // binary channel, alphabet 4
+		{"-n", "10", "-s1", "0", "-s0", "0"},               // no sources
+		{"-delta", "0.6"},                                  // invalid noise
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v did not error", args)
+		}
+	}
+}

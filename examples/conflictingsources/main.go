@@ -1,0 +1,73 @@
+// Conflicting sources: when informed agents disagree, the population must
+// converge on the *plurality* preference among them (zealot consensus /
+// majority bit dissemination, paper §1.3).
+//
+// We pit s1 sources pushing opinion 1 against s0 sources pushing opinion 0
+// and verify the group settles on the majority side — even at the knife
+// edge s1 = s0 + 1, and even though the outvoted sources keep *displaying*
+// their preference during the listening phases, they too adopt the
+// plurality opinion (Definition 2 requires it).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noisypull"
+)
+
+func main() {
+	const (
+		n     = 800
+		h     = 64
+		delta = 0.15
+		runs  = 5
+	)
+	channel, err := noisypull.UniformNoise(2, delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Conflicting sources: converge on the plurality preference")
+	fmt.Printf("n=%d, h=%d, delta=%.2f, %d runs per row\n\n", n, h, delta, runs)
+	fmt.Printf("%6s %6s %6s %10s %12s\n", "s1", "s0", "bias", "plurality", "success")
+
+	for _, pair := range [][2]int{
+		{2, 1},   // knife edge: bias 1 out of 3 sources
+		{6, 4},   // small conflicting committee
+		{30, 20}, // larger committee, same ratio
+		{40, 60}, // majority prefers 0: the correct opinion flips sides
+		{76, 75}, // knife edge at scale: 151 sources, bias 1
+	} {
+		s1, s0 := pair[0], pair[1]
+		plurality := 1
+		if s0 > s1 {
+			plurality = 0
+		}
+		wins := 0
+		for seed := uint64(0); seed < runs; seed++ {
+			res, err := noisypull.Run(noisypull.Config{
+				N: n, H: h, Sources1: s1, Sources0: s0,
+				Noise:    channel,
+				Protocol: noisypull.NewSourceFilter(),
+				Seed:     seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Converged && res.CorrectOpinion == plurality {
+				wins++
+			}
+		}
+		bias := s1 - s0
+		if bias < 0 {
+			bias = -bias
+		}
+		fmt.Printf("%6d %6d %6d %10d %9d/%d\n", s1, s0, bias, plurality, wins, runs)
+	}
+
+	fmt.Println()
+	fmt.Println("Theorem 4's running time scales with 1/s², so the knife-edge rows")
+	fmt.Println("(bias 1) schedule many more rounds than the comfortable ones —")
+	fmt.Println("but the outcome is still the plurality opinion, with high probability.")
+}

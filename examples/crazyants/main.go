@@ -1,0 +1,76 @@
+// Crazy ants: the cooperative-transport scenario that motivates the paper
+// (Section 1.1).
+//
+// A group of Paratrechina longicornis ants carries a food item. Each
+// carrier senses, through the load itself, the *cumulative* force of all
+// carriers — a noisy observation of the whole group's directional tendency,
+// i.e. the noisy PULL(h) model with h = n. Occasionally a single informed
+// ant that knows the way to the nest joins the group. The question from
+// Gelblum et al. (2015), answered by Theorem 4: can one informed ant steer
+// the whole group *quickly*?
+//
+// We encode the transport direction as a binary opinion (0 = left,
+// 1 = right, toward the nest), make one ant the informed source, and let
+// every ant sense everyone each round through 25% sensory noise. The
+// trajectory shows the group aligning with the informed ant in a number of
+// rounds that grows only logarithmically with the group size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"noisypull"
+)
+
+func main() {
+	const noiseLevel = 0.25 // each force observation is misread 25% of the time
+
+	sensing, err := noisypull.UniformNoise(2, noiseLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Cooperative transport by crazy ants (paper §1.1)")
+	fmt.Println("one informed ant, everyone senses the group's tendency each round")
+	fmt.Println()
+	fmt.Printf("%8s  %10s  %16s  %s\n", "ants", "rounds", "aligned since", "ratio to ln(n)")
+
+	for _, n := range []int{64, 256, 1024, 4096} {
+		var lastAligned int
+		cfg := noisypull.Config{
+			N:        n,
+			H:        n, // sensing the load aggregates everyone's force
+			Sources1: 1, // the single informed ant knows: nest is to the right
+			Noise:    sensing,
+			Protocol: noisypull.NewSourceFilter(),
+			Seed:     7,
+			OnRound: func(round, correct int) {
+				if correct == n {
+					if lastAligned == 0 {
+						lastAligned = round
+					}
+				} else {
+					lastAligned = 0
+				}
+			},
+		}
+		res, err := noisypull.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Converged {
+			fmt.Printf("%8d  group failed to align (unlucky run)\n", n)
+			continue
+		}
+		logn := math.Log(float64(n))
+		fmt.Printf("%8d  %10d  %16d  %.1f\n", n, res.Rounds, res.FirstAllCorrect, float64(res.FirstAllCorrect)/logn)
+	}
+
+	fmt.Println()
+	fmt.Println("The 'aligned since' column grows like ln(n), not n: sensing the")
+	fmt.Println("average tendency lets a single informed ant steer the group in")
+	fmt.Println("logarithmic time — the answer Theorem 4 gives to the open question")
+	fmt.Println("of Gelblum et al. (2015).")
+}

@@ -1,0 +1,98 @@
+// House-hunting: the Temnothorax nest-site selection scenario from the
+// paper's conclusions (Section 3).
+//
+// When their nest is destroyed, Temnothorax ants pick a new site in two
+// stages: scouts assess candidate sites first-hand (slow tandem runs
+// instead of relaying noisy estimates — in the paper's language, investing
+// time to increase the number of sources and hence the bias), then the
+// colony amplifies the emerging preference via quorum sensing (the
+// majority-consensus stage).
+//
+// We model the final binary choice between site A (opinion 1, the better
+// site) and site B (opinion 0): scouts that assessed a site first-hand are
+// sources whose preferences lean toward the better site in proportion to
+// its quality, and the rest of the colony reaches consensus through noisy,
+// unstructured contacts. The experiment sweeps the scouting effort — more
+// tandem runs mean more sources and a larger bias — and shows the paper's
+// trade-off: recruiting more first-hand assessors shortens the consensus
+// stage quadratically (Theorem 4's 1/s² term) until the log floor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noisypull"
+)
+
+func main() {
+	const (
+		colony  = 1000 // colony size
+		contact = 48   // noisy antennal contacts sensed per round
+		delta   = 0.2  // perception noise
+		quality = 0.75 // probability a scout assesses the better site as better
+		runs    = 3
+	)
+	channel, err := noisypull.UniformNoise(2, delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Temnothorax house-hunting as noisy-PULL consensus (paper §3)")
+	fmt.Printf("colony %d, %d contacts/round, %.0f%% perception noise, scout accuracy %.0f%%\n\n",
+		colony, contact, 100*delta, 100*quality)
+	fmt.Printf("%8s %10s %10s %12s %12s %10s\n", "scouts", "pro-A", "pro-B", "listening", "total", "correct")
+
+	for _, scouts := range []int{4, 8, 16, 32, 64} {
+		// Scouting: each scout independently assesses the sites and forms a
+		// preference; quality decides how often it favors the better site.
+		// Deterministic rounding keeps the example reproducible.
+		proA := int(float64(scouts)*quality + 0.5)
+		proB := scouts - proA
+		if proA == proB { // the model needs a strict plurality
+			proA++
+			proB--
+		}
+
+		// Theorem 4's 1/s² acceleration lives in the listening stage
+		// (Phases 0 and 1, 2T rounds); the majority-boosting stage is a
+		// fixed Θ(log n) floor. Report them separately.
+		sf := noisypull.NewSourceFilter()
+		env := noisypull.Env{
+			N: colony, H: contact, Alphabet: 2, Delta: delta,
+			Sources: proA + proB, Bias: proA - proB,
+		}
+		_, phaseT, _, _, err := sf.Params(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		correct := 0
+		var rounds int
+		for seed := uint64(0); seed < runs; seed++ {
+			res, err := noisypull.Run(noisypull.Config{
+				N: colony, H: contact,
+				Sources1: proA, Sources0: proB,
+				Noise:    channel,
+				Protocol: sf,
+				Seed:     seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rounds = res.Rounds
+			if res.Converged && res.CorrectOpinion == 1 {
+				correct++
+			}
+		}
+		fmt.Printf("%8d %10d %10d %12d %12d %8d/%d\n", scouts, proA, proB, 2*phaseT, rounds, correct, runs)
+	}
+
+	fmt.Println()
+	fmt.Println("Doubling the scouting effort (more tandem runs → larger bias s)")
+	fmt.Println("shrinks the listening stage toward its sampling floor — Theorem 4's")
+	fmt.Println("1/s² acceleration — while the quorum-like boosting stage stays a")
+	fmt.Println("fixed Θ(log n) cost. This is the paper's reading of why ants invest")
+	fmt.Println("time in first-hand assessment (more sources, larger bias) instead")
+	fmt.Println("of relaying noisy estimates.")
+}

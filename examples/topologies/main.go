@@ -1,0 +1,90 @@
+// Topologies: how much "well-mixedness" does the result need?
+//
+// The noisy PULL model assumes every agent samples uniformly from the whole
+// population. This example restricts sampling to graph neighborhoods and
+// compares three worlds with the same per-round budget (h = 8 samples):
+//
+//   - the complete graph (the paper's model),
+//   - a random d-regular graph — an expander: neighborhoods are unbiased
+//     population samples, so the protocol barely notices,
+//   - a ring of the same degree — information is locked into a
+//     one-dimensional neighborhood structure and the Source Filter's
+//     weak-opinion mechanism starves: only the source's immediate
+//     neighbors can ever observe it first-hand.
+//
+// The message mirrors the paper's related-work discussion from the other
+// side: it is not global sampling per se that the protocols need, but
+// population-representative sampling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noisypull"
+)
+
+func main() {
+	const (
+		n     = 512
+		h     = 8
+		delta = 0.15
+		runs  = 4
+	)
+	channel, err := noisypull.UniformNoise(2, delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Source Filter with neighborhood-restricted sampling")
+	fmt.Printf("n=%d, h=%d samples/round, delta=%.2f, single informed agent\n\n", n, h, delta)
+	fmt.Printf("%-24s %10s %14s\n", "topology", "success", "spread round")
+
+	type world struct {
+		name string
+		top  func(seed uint64) (*noisypull.Topology, error)
+	}
+	worlds := []world{
+		{"complete (paper model)", func(uint64) (*noisypull.Topology, error) { return nil, nil }},
+		{"random 32-regular", func(seed uint64) (*noisypull.Topology, error) {
+			return noisypull.RandomRegularTopology(n, 32, seed)
+		}},
+		{"ring, degree 32", func(uint64) (*noisypull.Topology, error) {
+			return noisypull.RingTopology(n, 16)
+		}},
+	}
+
+	for _, w := range worlds {
+		wins, spread := 0, 0
+		for seed := uint64(1); seed <= runs; seed++ {
+			top, err := w.top(seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := noisypull.Run(noisypull.Config{
+				N: n, H: h, Sources1: 1,
+				Noise:    channel,
+				Protocol: noisypull.NewSourceFilter(),
+				Seed:     seed,
+				Topology: top,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Converged {
+				wins++
+				spread = res.FirstAllCorrect
+			}
+		}
+		spreadStr := "—"
+		if wins > 0 {
+			spreadStr = fmt.Sprint(spread)
+		}
+		fmt.Printf("%-24s %7d/%d %14s\n", w.name, wins, runs, spreadStr)
+	}
+
+	fmt.Println()
+	fmt.Println("A modest-degree expander behaves like the complete graph; a ring of")
+	fmt.Println("the *same degree* fails outright. The protocols need sampling to be")
+	fmt.Println("population-representative — 'well-mixed' — not literally global.")
+}

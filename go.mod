@@ -1,0 +1,3 @@
+module noisypull
+
+go 1.22

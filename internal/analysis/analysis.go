@@ -1,0 +1,246 @@
+// Package analysis implements the paper's *analytical* machinery as
+// executable formulas: the weak-opinion observation laws of Lemma 28 (SF)
+// and Lemma 36 (SSF), the exact/approximate probability that a weak opinion
+// is correct (the quantity Lemma 23 lower-bounds), and the mean-field map
+// of the Majority Boosting phase (the expected bias amplification behind
+// Lemma 33).
+//
+// These predictions serve two purposes: experiments cross-check the
+// simulator against theory (experiment E13), and tests of this package
+// verify the paper's claimed inequalities (Claims 29 and 37) numerically
+// across parameter grids.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"noisypull/internal/stats"
+)
+
+// Params are the system parameters entering the weak-opinion analysis.
+// Delta is the uniform noise level on the protocol's own alphabet (2
+// symbols for SF, 4 for SSF). The correct opinion is assumed to be 1
+// (s1 > s0), mirroring Section 5.2's convention; both protocols are
+// symmetric so this loses no generality.
+type Params struct {
+	N      int
+	S1, S0 int
+	Delta  float64
+	// M is the number of samples feeding one weak opinion (Eq. 19 / 30).
+	M int
+}
+
+func (p Params) validate(deltaLimit float64) error {
+	if p.N < 2 || p.S1 < 0 || p.S0 < 0 || p.S1+p.S0 > p.N || p.S1 <= p.S0 {
+		return fmt.Errorf("analysis: invalid population parameters %+v (need s1 > s0, s0+s1 <= n)", p)
+	}
+	if p.Delta < 0 || p.Delta >= deltaLimit {
+		return fmt.Errorf("analysis: delta %v outside [0, %v)", p.Delta, deltaLimit)
+	}
+	if p.M < 1 {
+		return fmt.Errorf("analysis: sample budget m = %d", p.M)
+	}
+	return nil
+}
+
+// ObservationLaw describes the distribution of one analysis variable
+// X_k ∈ {−1, 0, +1} (Section 2.3): PPlus/PMinus are the probabilities of
+// ±1, PNonzero their sum, and P the conditional probability
+// P(X_k = 1 | X_k ≠ 0).
+type ObservationLaw struct {
+	PPlus, PMinus float64
+	PNonzero      float64
+	P             float64
+}
+
+// SFLaw computes the law of X_k for Algorithm SF (proof of Lemma 28):
+// A_k is a Phase-0 observation and B_k a Phase-1 observation,
+//
+//	P(A_k = 1) = (s1/n)(1−δ) + (1 − s1/n)·δ,
+//	P(B_k = 0) = (s0/n)(1−δ) + (1 − s0/n)·δ,
+//
+// and X_k = +1 on (1,1), −1 on (0,0), 0 otherwise, with A_k ⫫ B_k.
+func SFLaw(p Params) (ObservationLaw, error) {
+	if err := p.validate(0.5); err != nil {
+		return ObservationLaw{}, err
+	}
+	n := float64(p.N)
+	d := p.Delta
+	a1 := float64(p.S1)/n*(1-d) + (1-float64(p.S1)/n)*d // P(A_k = 1)
+	b0 := float64(p.S0)/n*(1-d) + (1-float64(p.S0)/n)*d // P(B_k = 0)
+	b1 := 1 - b0
+	a0 := 1 - a1
+	law := ObservationLaw{
+		PPlus:  a1 * b1,
+		PMinus: a0 * b0,
+	}
+	law.PNonzero = law.PPlus + law.PMinus
+	if law.PNonzero > 0 {
+		law.P = law.PPlus / law.PNonzero
+	}
+	return law, nil
+}
+
+// SSFLaw computes the law of X_k for Algorithm SSF (Eq. 33): X_k = +1 when
+// the observed message is (1,1) — a 1-source seen without corruption, or
+// any other display corrupted into (1,1) — and −1 symmetrically for (1,0):
+//
+//	P(X_k = +1) = (s1/n)(1−3δ) + (1 − s1/n)·δ,
+//	P(X_k = −1) = (s0/n)(1−3δ) + (1 − s0/n)·δ.
+func SSFLaw(p Params) (ObservationLaw, error) {
+	if err := p.validate(0.25); err != nil {
+		return ObservationLaw{}, err
+	}
+	n := float64(p.N)
+	d := p.Delta
+	law := ObservationLaw{
+		PPlus:  float64(p.S1)/n*(1-3*d) + (1-float64(p.S1)/n)*d,
+		PMinus: float64(p.S0)/n*(1-3*d) + (1-float64(p.S0)/n)*d,
+	}
+	law.PNonzero = law.PPlus + law.PMinus
+	if law.PNonzero > 0 {
+		law.P = law.PPlus / law.PNonzero
+	}
+	return law, nil
+}
+
+// exactCutoff bounds the m up to which WeakOpinionAccuracy enumerates the
+// count of informative samples exactly; beyond it the Rademacher-sum
+// advantage uses the normal approximation inside a ±8σ window.
+const exactCutoff = 400
+
+// WeakOpinionAccuracy returns the probability that a weak opinion built
+// from m i.i.d. samples with the given law equals the correct opinion:
+//
+//	P(X > 0) + P(X = 0)/2,  X = Σ X_k,
+//
+// computed by conditioning on the number Y ~ Binomial(m, PNonzero) of
+// informative samples (Lemma 20) and evaluating the sign advantage of a
+// Y-fold Rademacher(P) sum — exactly for small counts, by normal
+// approximation for large ones.
+func WeakOpinionAccuracy(law ObservationLaw, m int) float64 {
+	if m < 1 || law.PNonzero <= 0 {
+		return 0.5
+	}
+	theta := law.P - 0.5
+	mean := float64(m) * law.PNonzero
+	sd := math.Sqrt(float64(m) * law.PNonzero * (1 - law.PNonzero))
+	lo, hi := 0, m
+	if m > exactCutoff {
+		lo = int(math.Max(0, mean-8*sd))
+		hi = int(math.Min(float64(m), mean+8*sd))
+	}
+	var acc float64
+	var mass float64
+	for r := lo; r <= hi; r++ {
+		w := stats.BinomPMF(m, law.PNonzero, r)
+		if w == 0 {
+			continue
+		}
+		mass += w
+		acc += w * signAdvantage(r, theta)
+	}
+	if mass > 0 {
+		acc /= mass
+	}
+	return 0.5 + acc/2
+}
+
+// signAdvantage returns P(X > 0) − P(X < 0) for a sum of r Rademacher
+// variables with parameter 1/2 + theta.
+func signAdvantage(r int, theta float64) float64 {
+	switch {
+	case r == 0 || theta == 0:
+		return 0
+	case r <= exactCutoff:
+		return stats.ExactSignAdvantage(r, theta)
+	default:
+		// Normal approximation with continuity handled by the symmetric
+		// formulation: X ≈ N(2θr, r(1−4θ²)).
+		mu := 2 * theta * float64(r)
+		sd := math.Sqrt(float64(r) * (1 - 4*theta*theta))
+		if sd == 0 {
+			if mu > 0 {
+				return 1
+			}
+			return -1
+		}
+		return 1 - 2*stats.NormalCDF(-mu/sd)
+	}
+}
+
+// BoostStep is the mean-field map of one Majority Boosting sub-phase
+// (Lemma 33's drift): given the fraction q of agents currently holding
+// opinion 1 and a sub-phase quota of w observed messages under δ-uniform
+// binary noise, it returns the probability that an agent's next opinion is
+// 1 — i.e. the expected next fraction:
+//
+//	p₁ = q(1−δ) + (1−q)·δ        (per-observation law)
+//	next = P(Bin(w, p₁) > w/2) + P(Bin(w, p₁) = w/2)/2.
+func BoostStep(q float64, w int, delta float64) float64 {
+	if w < 1 {
+		return q
+	}
+	p1 := q*(1-delta) + (1-q)*delta
+	if w <= exactCutoff {
+		var above, tie float64
+		half := float64(w) / 2
+		for k := 0; k <= w; k++ {
+			pmf := stats.BinomPMF(w, p1, k)
+			switch {
+			case float64(k) > half:
+				above += pmf
+			case float64(k) == half:
+				tie += pmf
+			}
+		}
+		return above + tie/2
+	}
+	mu := float64(w) * p1
+	sd := math.Sqrt(float64(w) * p1 * (1 - p1))
+	if sd == 0 {
+		if p1 > 0.5 {
+			return 1
+		}
+		if p1 < 0.5 {
+			return 0
+		}
+		return 0.5
+	}
+	return 1 - stats.NormalCDF((float64(w)/2-mu)/sd)
+}
+
+// BoostTrajectory iterates BoostStep from an initial fraction, returning
+// the expected fraction after each of the given number of sub-phases
+// (including the start as element 0).
+func BoostTrajectory(q0 float64, w int, delta float64, subPhases int) []float64 {
+	out := make([]float64, 0, subPhases+1)
+	out = append(out, q0)
+	q := q0
+	for i := 0; i < subPhases; i++ {
+		q = BoostStep(q, w, delta)
+		out = append(out, q)
+	}
+	return out
+}
+
+// PredictSF returns the predicted probability that an SF weak opinion is
+// correct for the given parameters.
+func PredictSF(p Params) (float64, error) {
+	law, err := SFLaw(p)
+	if err != nil {
+		return 0, err
+	}
+	return WeakOpinionAccuracy(law, p.M), nil
+}
+
+// PredictSSF returns the predicted probability that an SSF weak opinion is
+// correct for the given parameters.
+func PredictSSF(p Params) (float64, error) {
+	law, err := SSFLaw(p)
+	if err != nil {
+		return 0, err
+	}
+	return WeakOpinionAccuracy(law, p.M), nil
+}

@@ -1,0 +1,304 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSFLawHandComputed(t *testing.T) {
+	// n=100, s1=2, s0=1, delta=0.1:
+	// P(A=1) = 0.02*0.9 + 0.98*0.1 = 0.116
+	// P(B=0) = 0.01*0.9 + 0.99*0.1 = 0.108, P(B=1) = 0.892
+	law, err := SFLaw(Params{N: 100, S1: 2, S0: 1, Delta: 0.1, M: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(law.PPlus-0.116*0.892) > 1e-12 {
+		t.Fatalf("PPlus = %v", law.PPlus)
+	}
+	if math.Abs(law.PMinus-(1-0.116)*0.108) > 1e-12 {
+		t.Fatalf("PMinus = %v", law.PMinus)
+	}
+	if math.Abs(law.PNonzero-(law.PPlus+law.PMinus)) > 1e-15 {
+		t.Fatalf("PNonzero = %v", law.PNonzero)
+	}
+	if law.P <= 0.5 {
+		t.Fatalf("p = %v, want > 1/2 when s1 > s0", law.P)
+	}
+}
+
+func TestSSFLawHandComputed(t *testing.T) {
+	// n=100, s1=1, s0=0, delta=0.05:
+	// P(+1) = 0.01*0.85 + 0.99*0.05 = 0.058
+	// P(-1) = 0 + 1.00*0.05 = 0.05
+	law, err := SSFLaw(Params{N: 100, S1: 1, S0: 0, Delta: 0.05, M: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(law.PPlus-0.058) > 1e-12 {
+		t.Fatalf("PPlus = %v", law.PPlus)
+	}
+	if math.Abs(law.PMinus-0.05) > 1e-12 {
+		t.Fatalf("PMinus = %v", law.PMinus)
+	}
+	if law.P <= 0.5 {
+		t.Fatalf("p = %v", law.P)
+	}
+}
+
+func TestLawValidation(t *testing.T) {
+	bad := []Params{
+		{N: 1, S1: 1, S0: 0, Delta: 0.1, M: 1},
+		{N: 100, S1: 1, S0: 1, Delta: 0.1, M: 1},   // zero bias
+		{N: 100, S1: 0, S0: 1, Delta: 0.1, M: 1},   // s1 < s0 violates convention
+		{N: 100, S1: 60, S0: 50, Delta: 0.1, M: 1}, // too many sources
+		{N: 100, S1: 1, S0: 0, Delta: 0.5, M: 1},   // delta at SF limit
+		{N: 100, S1: 1, S0: 0, Delta: 0.1, M: 0},   // no samples
+	}
+	for i, p := range bad {
+		if _, err := SFLaw(p); err == nil {
+			t.Errorf("case %d: SFLaw accepted %+v", i, p)
+		}
+	}
+	if _, err := SSFLaw(Params{N: 100, S1: 1, S0: 0, Delta: 0.3, M: 1}); err == nil {
+		t.Error("SSFLaw accepted delta = 0.3")
+	}
+}
+
+// TestClaim29Inequalities verifies the paper's Claim 29 numerically over a
+// parameter grid: Eq. (21) lower-bounds P(X_k ≠ 0), and Eqs. (22)/(23)
+// lower-bound p in the noise- and source-dominated regimes respectively.
+func TestClaim29Inequalities(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		for _, srcs := range [][2]int{{1, 0}, {2, 1}, {10, 5}, {20, 0}} {
+			for _, delta := range []float64{0.01, 0.1, 0.2, 0.3, 0.4, 0.49} {
+				s1, s0 := srcs[0], srcs[1]
+				if 4*(s1+s0) > n {
+					continue
+				}
+				p := Params{N: n, S1: s1, S0: s0, Delta: delta, M: 10}
+				law, err := SFLaw(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := float64(s1 - s0)
+				total := float64(s1 + s0)
+				nf := float64(n)
+				// Eq. (21).
+				lb21 := (1-2*delta)*(1-2*delta)*total/(2*nf) + delta
+				if law.PNonzero < lb21-1e-12 {
+					t.Errorf("Eq21 violated at n=%d s=(%d,%d) d=%v: %v < %v",
+						n, s1, s0, delta, law.PNonzero, lb21)
+				}
+				switch {
+				case delta >= total/(2*nf)*(1-2*delta):
+					// Eq. (22): p >= 1/2 + s(1-2delta)^2/(8 n delta)... the
+					// paper's bound divided by 2 (advantage -> probability).
+					lb := 0.5 + s*(1-2*delta)*(1-2*delta)/(8*nf*delta)
+					if law.P < lb-1e-12 {
+						t.Errorf("Eq22 violated at n=%d s=(%d,%d) d=%v: %v < %v",
+							n, s1, s0, delta, law.P, lb)
+					}
+				default:
+					// Eq. (23): p >= 1/2 + s/(4(s0+s1)).
+					lb := 0.5 + s/(4*total)
+					if law.P < lb-1e-12 {
+						t.Errorf("Eq23 violated at n=%d s=(%d,%d) d=%v: %v < %v",
+							n, s1, s0, delta, law.P, lb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClaim37Inequalities verifies Claim 37 (the SSF analogue) numerically:
+// Eq. (34) bounds P(X_k ≠ 0) and Eqs. (35)/(36) bound p.
+func TestClaim37Inequalities(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		for _, srcs := range [][2]int{{1, 0}, {2, 1}, {10, 5}} {
+			for _, delta := range []float64{0.01, 0.05, 0.1, 0.2, 0.24} {
+				s1, s0 := srcs[0], srcs[1]
+				if 4*(s1+s0) > n {
+					continue
+				}
+				p := Params{N: n, S1: s1, S0: s0, Delta: delta, M: 10}
+				law, err := SSFLaw(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := float64(s1 - s0)
+				total := float64(s1 + s0)
+				nf := float64(n)
+				lb34 := (1-4*delta)*(1-4*delta)*total/(2*nf) + delta
+				if law.PNonzero < lb34-1e-12 {
+					t.Errorf("Eq34 violated at n=%d s=(%d,%d) d=%v: %v < %v",
+						n, s1, s0, delta, law.PNonzero, lb34)
+				}
+				switch {
+				case delta >= total/(2*nf)*(1-4*delta):
+					lb := 0.5 + s*(1-4*delta)/(8*nf*delta)
+					if law.P < lb-1e-12 {
+						t.Errorf("Eq35 violated at n=%d s=(%d,%d) d=%v: %v < %v",
+							n, s1, s0, delta, law.P, lb)
+					}
+				default:
+					lb := 0.5 + s/(4*total)
+					if law.P < lb-1e-12 {
+						t.Errorf("Eq36 violated at n=%d s=(%d,%d) d=%v: %v < %v",
+							n, s1, s0, delta, law.P, lb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWeakOpinionAccuracyBasics(t *testing.T) {
+	law := ObservationLaw{PPlus: 0.12, PMinus: 0.10, PNonzero: 0.22, P: 0.12 / 0.22}
+	if got := WeakOpinionAccuracy(law, 0); got != 0.5 {
+		t.Fatalf("m=0 accuracy = %v", got)
+	}
+	if got := WeakOpinionAccuracy(ObservationLaw{}, 100); got != 0.5 {
+		t.Fatalf("zero-law accuracy = %v", got)
+	}
+	// Monotone in m, always in (1/2, 1).
+	prev := 0.5
+	for _, m := range []int{1, 10, 100, 1000, 10000} {
+		acc := WeakOpinionAccuracy(law, m)
+		if acc < prev-1e-9 {
+			t.Fatalf("accuracy not monotone at m=%d: %v < %v", m, acc, prev)
+		}
+		if acc <= 0.5 || acc > 1 {
+			t.Fatalf("accuracy out of range at m=%d: %v", m, acc)
+		}
+		prev = acc
+	}
+	// Large m drives accuracy toward 1.
+	if acc := WeakOpinionAccuracy(law, 50000); acc < 0.99 {
+		t.Fatalf("accuracy at huge m = %v", acc)
+	}
+}
+
+// TestWeakOpinionAccuracyCutoffContinuity checks the exact and
+// normal-approximation paths agree near the switchover.
+func TestWeakOpinionAccuracyCutoffContinuity(t *testing.T) {
+	law := ObservationLaw{PPlus: 0.115, PMinus: 0.105, PNonzero: 0.22, P: 0.115 / 0.22}
+	exact := WeakOpinionAccuracy(law, exactCutoff)
+	approx := WeakOpinionAccuracy(law, exactCutoff+1)
+	if math.Abs(exact-approx) > 0.01 {
+		t.Fatalf("cutoff discontinuity: %v vs %v", exact, approx)
+	}
+}
+
+func TestSignAdvantageAgreement(t *testing.T) {
+	// The normal approximation should be close to the exact advantage for
+	// moderately large r.
+	for _, theta := range []float64{0.01, 0.05, 0.1} {
+		r := exactCutoff
+		exact := signAdvantage(r, theta)
+		mu := 2 * theta * float64(r)
+		sd := math.Sqrt(float64(r) * (1 - 4*theta*theta))
+		normal := 1 - 2*normCDF(-mu/sd)
+		if math.Abs(exact-normal) > 0.03 {
+			t.Fatalf("theta=%v: exact %v vs normal %v", theta, exact, normal)
+		}
+	}
+}
+
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+func TestBoostStepSymmetryAndMonotonicity(t *testing.T) {
+	const w = 100
+	const delta = 0.2
+	// Fixed point at 1/2 by symmetry (even w).
+	if got := BoostStep(0.5, w, delta); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("BoostStep(1/2) = %v", got)
+	}
+	// Monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := BoostStep(q, w, delta)
+		if v < prev-1e-12 {
+			t.Fatalf("BoostStep not monotone at q=%v", q)
+		}
+		prev = v
+	}
+	// Amplification above 1/2.
+	if v := BoostStep(0.6, w, delta); v <= 0.6 {
+		t.Fatalf("BoostStep(0.6) = %v, expected amplification", v)
+	}
+	// Symmetry: step(q) + step(1-q) = 1.
+	for _, q := range []float64{0.1, 0.3, 0.45} {
+		a := BoostStep(q, w, delta)
+		b := BoostStep(1-q, w, delta)
+		if math.Abs(a+b-1) > 1e-9 {
+			t.Fatalf("asymmetric boost: %v + %v != 1", a, b)
+		}
+	}
+	// Degenerate inputs.
+	if BoostStep(0.3, 0, delta) != 0.3 {
+		t.Fatal("w=0 should be identity")
+	}
+}
+
+func TestBoostStepLargeWNormalPath(t *testing.T) {
+	small := BoostStep(0.55, exactCutoff, 0.2)
+	large := BoostStep(0.55, exactCutoff+2, 0.2)
+	if math.Abs(small-large) > 0.02 {
+		t.Fatalf("normal path discontinuity: %v vs %v", small, large)
+	}
+	// Noiseless certainty at scale.
+	if v := BoostStep(1, 10000, 0); v != 1 {
+		t.Fatalf("BoostStep(1, ., 0) = %v", v)
+	}
+}
+
+func TestBoostTrajectoryAmplifies(t *testing.T) {
+	traj := BoostTrajectory(0.55, 278, 0.2, 10)
+	if len(traj) != 11 {
+		t.Fatalf("trajectory length %d", len(traj))
+	}
+	if traj[0] != 0.55 {
+		t.Fatalf("trajectory start %v", traj[0])
+	}
+	if traj[len(traj)-1] < 0.999 {
+		t.Fatalf("boosting did not amplify: %v", traj)
+	}
+	for i := 1; i < len(traj); i++ {
+		if traj[i] < traj[i-1]-1e-9 {
+			t.Fatalf("trajectory not monotone: %v", traj)
+		}
+	}
+}
+
+func TestPredictSFAndSSF(t *testing.T) {
+	p := Params{N: 400, S1: 1, S0: 0, Delta: 0.2, M: 5000}
+	sf, err := PredictSF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf <= 0.5 || sf >= 1 {
+		t.Fatalf("PredictSF = %v", sf)
+	}
+	p.Delta = 0.1
+	ssf, err := PredictSSF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssf <= 0.5 || ssf >= 1 {
+		t.Fatalf("PredictSSF = %v", ssf)
+	}
+	// Larger bias improves accuracy.
+	p2 := p
+	p2.S1 = 8
+	better, err := PredictSSF(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if better <= ssf {
+		t.Fatalf("bias did not improve accuracy: %v vs %v", better, ssf)
+	}
+}

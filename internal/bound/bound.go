@@ -1,0 +1,122 @@
+// Package bound implements the closed-form round-complexity bounds of the
+// paper: the Theorem 3 lower bound of Boczkowski et al. (2018), and the
+// Theorem 4 (SF) and Theorem 5 (SSF) upper bounds. The experiment harness
+// uses them to check the *shape* of measured convergence times — who wins,
+// with what slope, and where crossovers fall.
+package bound
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params collects the system parameters the bounds are stated in.
+type Params struct {
+	// N is the population size.
+	N int
+	// H is the per-round sample size.
+	H int
+	// Alphabet is |Σ|.
+	Alphabet int
+	// Delta is the noise level (δ-lower-bounded for the lower bound,
+	// δ-uniform/upper-bounded for the upper bounds).
+	Delta float64
+	// Bias is s = |s1 − s0|.
+	Bias int
+	// Sources is s0 + s1.
+	Sources int
+}
+
+func (p Params) validate() error {
+	if p.N < 2 || p.H < 1 || p.Alphabet < 2 || p.Bias < 1 || p.Sources < 1 {
+		return fmt.Errorf("bound: invalid parameters %+v", p)
+	}
+	if p.Delta < 0 || p.Delta > 1/float64(p.Alphabet) {
+		return fmt.Errorf("bound: delta %v outside [0, 1/%d]", p.Delta, p.Alphabet)
+	}
+	return nil
+}
+
+// LowerBound returns the Ω(·) expression of Theorem 3 (without its hidden
+// constant):
+//
+//	LB = n·δ / (h · s² · (1 − |Σ|·δ)²),
+//
+// the number of rounds any protocol needs for a fixed non-source agent to
+// hold the correct opinion with probability 2/3 under δ-lower-bounded noise.
+// It returns +Inf when δ = 1/|Σ| (the channel carries no information).
+func LowerBound(p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	informationless := 1 - float64(p.Alphabet)*p.Delta
+	if informationless <= 0 {
+		return math.Inf(1), nil
+	}
+	s := float64(p.Bias)
+	return float64(p.N) * p.Delta / (float64(p.H) * s * s * informationless * informationless), nil
+}
+
+// SFUpperBound returns the O(·) expression of Theorem 4 (without its hidden
+// constant):
+//
+//	T = (1/h)·( n·δ/(min{s²,n}(1−2δ)²) + √n/s + (s0+s1)/s² )·ln n + ln n.
+//
+// Valid for the 2-symbol alphabet; δ must be below 1/2.
+func SFUpperBound(p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if p.Alphabet != 2 {
+		return 0, fmt.Errorf("bound: Theorem 4 is stated for |Σ| = 2, got %d", p.Alphabet)
+	}
+	denom := 1 - 2*p.Delta
+	if denom <= 0 {
+		return math.Inf(1), nil
+	}
+	n := float64(p.N)
+	s := float64(p.Bias)
+	logn := math.Log(n)
+	inner := n*p.Delta/(math.Min(s*s, n)*denom*denom) +
+		math.Sqrt(n)/s +
+		float64(p.Sources)/(s*s)
+	return inner*logn/float64(p.H) + logn, nil
+}
+
+// SSFUpperBound returns the O(·) expression of Theorem 5 (without its
+// hidden constant):
+//
+//	T = δ·n·ln n / (h·(1−4δ)²) + n/h.
+//
+// Valid for the 4-symbol alphabet {0,1}²; δ must be below 1/4.
+func SSFUpperBound(p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if p.Alphabet != 4 {
+		return 0, fmt.Errorf("bound: Theorem 5 is stated for |Σ| = 4, got %d", p.Alphabet)
+	}
+	denom := 1 - 4*p.Delta
+	if denom <= 0 {
+		return math.Inf(1), nil
+	}
+	n := float64(p.N)
+	return p.Delta*n*math.Log(n)/(float64(p.H)*denom*denom) + n/float64(p.H), nil
+}
+
+// TightnessRatio returns SFUpperBound / LowerBound — per the remark after
+// Theorem 4 this is O(log n) in the regime δ ≥ 4s/√n with s0+s1 ≤ √n.
+func TightnessRatio(p Params) (float64, error) {
+	lb, err := LowerBound(p)
+	if err != nil {
+		return 0, err
+	}
+	ub, err := SFUpperBound(p)
+	if err != nil {
+		return 0, err
+	}
+	if lb == 0 {
+		return math.Inf(1), nil
+	}
+	return ub / lb, nil
+}

@@ -1,0 +1,215 @@
+package bound
+
+import (
+	"math"
+	"testing"
+)
+
+func base() Params {
+	return Params{N: 4096, H: 64, Alphabet: 2, Delta: 0.2, Bias: 1, Sources: 1}
+}
+
+func TestLowerBoundFormula(t *testing.T) {
+	p := base()
+	got, err := LowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4096.0 * 0.2 / (64 * 1 * 0.6 * 0.6)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LowerBound = %v, want %v", got, want)
+	}
+}
+
+func TestLowerBoundScalesInverselyWithH(t *testing.T) {
+	p := base()
+	lb1, err := LowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.H = 128
+	lb2, err := LowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb1/lb2-2) > 1e-9 {
+		t.Fatalf("doubling h did not halve the bound: %v vs %v", lb1, lb2)
+	}
+}
+
+func TestLowerBoundInformationlessChannel(t *testing.T) {
+	p := base()
+	p.Delta = 0.5 // 1/|Σ|: pure noise
+	got, err := LowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Fatalf("LowerBound at delta=1/2 = %v, want +Inf", got)
+	}
+}
+
+func TestLowerBoundValidation(t *testing.T) {
+	bad := []Params{
+		{N: 1, H: 1, Alphabet: 2, Delta: 0.1, Bias: 1, Sources: 1},
+		{N: 10, H: 0, Alphabet: 2, Delta: 0.1, Bias: 1, Sources: 1},
+		{N: 10, H: 1, Alphabet: 1, Delta: 0.1, Bias: 1, Sources: 1},
+		{N: 10, H: 1, Alphabet: 2, Delta: -0.1, Bias: 1, Sources: 1},
+		{N: 10, H: 1, Alphabet: 2, Delta: 0.6, Bias: 1, Sources: 1},
+		{N: 10, H: 1, Alphabet: 2, Delta: 0.1, Bias: 0, Sources: 1},
+		{N: 10, H: 1, Alphabet: 2, Delta: 0.1, Bias: 1, Sources: 0},
+	}
+	for i, p := range bad {
+		if _, err := LowerBound(p); err == nil {
+			t.Errorf("case %d: LowerBound accepted %+v", i, p)
+		}
+	}
+}
+
+func TestSFUpperBoundFormula(t *testing.T) {
+	p := base()
+	got, err := SFUpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log(4096)
+	want := (4096*0.2/(1*0.36) + 64 + 1) * logn / 64.0
+	want += logn
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SFUpperBound = %v, want %v", got, want)
+	}
+}
+
+func TestSFUpperBoundLogTermFloor(t *testing.T) {
+	// With h = n, s and delta constant, the bound is dominated by log n.
+	p := base()
+	p.H = p.N
+	got, err := SFUpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log(float64(p.N))
+	if got < logn || got > 10*logn {
+		t.Fatalf("SFUpperBound at h=n = %v, want Θ(log n) ≈ %v", got, logn)
+	}
+}
+
+func TestSFUpperBoundMinCapsBiasGain(t *testing.T) {
+	// Once s² > n, min{s², n} stops improving the first term.
+	p := base()
+	p.N = 400
+	p.Bias = 100 // s² = 10000 > n = 400
+	p.Sources = 100
+	a, err := SFUpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Bias = 150
+	p.Sources = 150 // still capped (but the sqrt(n)/s term shrinks)
+	b, err := SFUpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b > a {
+		t.Fatalf("larger bias increased bound: %v -> %v", a, b)
+	}
+	// First terms equal: difference only from sqrt(n)/s and sources terms.
+	if a-b > 1 {
+		t.Fatalf("bias gain beyond the min cap too large: %v -> %v", a, b)
+	}
+}
+
+func TestSFUpperBoundRejectsWrongAlphabet(t *testing.T) {
+	p := base()
+	p.Alphabet = 4
+	p.Delta = 0.2
+	if _, err := SFUpperBound(p); err == nil {
+		t.Fatal("alphabet-4 SF bound did not error")
+	}
+}
+
+func TestSFUpperBoundDegenerateDelta(t *testing.T) {
+	p := base()
+	p.Delta = 0.5
+	got, err := SFUpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Fatalf("SF bound at delta=1/2 = %v", got)
+	}
+}
+
+func TestSSFUpperBoundFormula(t *testing.T) {
+	p := base()
+	p.Alphabet = 4
+	p.Delta = 0.1
+	got, err := SSFUpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1*4096*math.Log(4096)/(64*0.36) + 4096.0/64
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SSFUpperBound = %v, want %v", got, want)
+	}
+}
+
+func TestSSFUpperBoundRejectsWrongAlphabet(t *testing.T) {
+	p := base()
+	if _, err := SSFUpperBound(p); err == nil {
+		t.Fatal("alphabet-2 SSF bound did not error")
+	}
+}
+
+func TestSSFUpperBoundDegenerateDelta(t *testing.T) {
+	p := base()
+	p.Alphabet = 4
+	p.Delta = 0.25
+	got, err := SSFUpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Fatalf("SSF bound at delta=1/4 = %v", got)
+	}
+}
+
+// TestTightness checks the remark after Theorem 4: in the regime
+// δ ≥ 4s/√n and s0+s1 ≤ √n, upper/lower ratio is O(log n) — concretely,
+// the ratio divided by log n stays bounded as n grows.
+func TestTightness(t *testing.T) {
+	prevNorm := 0.0
+	for i, n := range []int{1 << 10, 1 << 14, 1 << 18, 1 << 22} {
+		p := Params{N: n, H: 4, Alphabet: 2, Delta: 0.2, Bias: 1, Sources: 1}
+		ratio, err := TightnessRatio(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := ratio / math.Log(float64(n))
+		if i > 0 && norm > prevNorm*1.5 {
+			t.Fatalf("tightness ratio grows faster than log n: %v then %v", prevNorm, norm)
+		}
+		prevNorm = norm
+	}
+}
+
+// TestSpeedupLinearInH is the headline message: for fixed n, δ, s both the
+// lower and upper bound scale as 1/h until the log-term floor.
+func TestSpeedupLinearInH(t *testing.T) {
+	p := base()
+	p.N = 1 << 20
+	ub1, err := SFUpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.H *= 8
+	ub8, err := SFUpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Away from the floor the ratio should be close to 8.
+	ratio := (ub1 - math.Log(float64(p.N))) / (ub8 - math.Log(float64(p.N)))
+	if math.Abs(ratio-8) > 1e-6 {
+		t.Fatalf("h-speedup ratio = %v, want 8", ratio)
+	}
+}

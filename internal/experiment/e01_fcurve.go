@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"fmt"
+
+	"noisypull/internal/noise"
+	"noisypull/internal/report"
+)
+
+// e1FCurve regenerates Figure 1: the artificial-noise level f(δ)
+// (Definition 7) for alphabet sizes d = 2 and d = 4.
+func e1FCurve() Experiment {
+	return Experiment{
+		ID:       "E1",
+		Title:    "Artificial-noise level f(δ) for d = 2 and d = 4",
+		PaperRef: "Figure 1 (Definition 7)",
+		Run: func(opts Options) (*Artifact, error) {
+			points := 100
+			if opts.Scale == ScaleFull {
+				points = 200
+			}
+			art := &Artifact{
+				ID:       "E1",
+				Title:    "Artificial-noise level f(δ)",
+				PaperRef: "Figure 1",
+			}
+			table := report.NewTable("Figure 1 — f(δ) sample values", "delta", "f(delta) d=2", "f(delta) d=4")
+			for _, d := range []int{2, 4} {
+				limit := 1 / float64(d)
+				xs := make([]float64, 0, points)
+				ys := make([]float64, 0, points)
+				for i := 0; i <= points; i++ {
+					delta := limit * float64(i) / float64(points+1)
+					xs = append(xs, delta)
+					ys = append(ys, noise.F(delta, d))
+				}
+				art.Series = append(art.Series, report.NewSeries(fmt.Sprintf("f(delta), d=%d", d), xs, ys))
+			}
+			// Tabulate at shared sample deltas within both domains.
+			for _, delta := range []float64{0, 0.05, 0.1, 0.15, 0.2, 0.24} {
+				table.AddRow(delta, noise.F(delta, 2), noise.F(delta, 4))
+			}
+			art.Tables = append(art.Tables, table)
+
+			// Shape checks from Claim 15: increasing, bounded by 1/d,
+			// dominating delta.
+			for _, d := range []int{2, 4} {
+				limit := 1 / float64(d)
+				prev := -1.0
+				ok := true
+				for i := 0; i < points; i++ {
+					delta := limit * float64(i) / float64(points+1)
+					v := noise.F(delta, d)
+					if v <= prev || v >= limit || v < delta {
+						ok = false
+						break
+					}
+					prev = v
+				}
+				art.Notef("d=%d: f increasing on [0,1/d), f(δ)∈[δ,1/d): %v (paper: Claim 15)", d, ok)
+			}
+			return art, nil
+		},
+	}
+}

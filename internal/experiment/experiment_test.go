@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"noisypull/internal/noise"
+	"noisypull/internal/protocol"
+	"noisypull/internal/sim"
+)
+
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("registered %d experiments, want 19", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("E7")
+	if !ok || e.ID != "E7" {
+		t.Fatalf("ByID(E7) = %+v, %v", e, ok)
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) found something")
+	}
+}
+
+func TestIDsNumericOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 19 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if ids[0] != "E1" || ids[1] != "E2" || ids[9] != "E10" || ids[18] != "E19" {
+		t.Fatalf("IDs not in numeric order: %v", ids)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if ScaleQuick.String() != "quick" || ScaleFull.String() != "full" || Scale(9).String() == "" {
+		t.Fatal("scale strings wrong")
+	}
+}
+
+func TestTrialSeedDeterministicAndDistinct(t *testing.T) {
+	a := trialSeed(1, 2, 3)
+	if a != trialSeed(1, 2, 3) {
+		t.Fatal("trialSeed not deterministic")
+	}
+	seen := map[uint64]bool{a: true}
+	for g := 0; g < 10; g++ {
+		for tr := 0; tr < 10; tr++ {
+			if g == 2 && tr == 3 {
+				continue
+			}
+			s := trialSeed(1, g, tr)
+			if seen[s] {
+				t.Fatalf("seed collision at g=%d t=%d", g, tr)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRunTrialsAggregation(t *testing.T) {
+	nm, err := noise.Uniform(2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Seed: 7, Parallel: 2}
+	batch, err := runTrials(opts, 0, 6, func(seed uint64) sim.Config {
+		return sim.Config{
+			N: 200, H: 16, Sources1: 1, Sources0: 0,
+			Noise:    nm,
+			Protocol: protocol.NewSF(),
+			Seed:     seed,
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Trials != 6 || len(batch.Durations) != 6 {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if batch.SuccessRate() < 0.5 {
+		t.Fatalf("suspiciously low success rate %v", batch.SuccessRate())
+	}
+	if batch.MedianDuration() <= 0 {
+		t.Fatal("median duration not positive")
+	}
+	if batch.Successes > 0 && batch.MedianRecovery() <= 0 {
+		t.Fatal("median recovery not positive despite successes")
+	}
+	w := batch.Wilson95()
+	if w.Lo > w.Estimate || w.Hi < w.Estimate {
+		t.Fatalf("Wilson interval %v does not bracket", w)
+	}
+}
+
+func TestRunTrialsPropagatesErrors(t *testing.T) {
+	if _, err := runTrials(Options{}, 0, 0, nil); err == nil {
+		t.Fatal("zero trials did not error")
+	}
+	_, err := runTrials(Options{}, 0, 2, func(seed uint64) sim.Config {
+		return sim.Config{} // invalid
+	})
+	if err == nil {
+		t.Fatal("invalid config did not error")
+	}
+}
+
+func TestTrialBatchEmpty(t *testing.T) {
+	b := &trialBatch{}
+	if b.SuccessRate() != 0 || b.MedianRecovery() != 0 {
+		t.Fatal("empty batch stats nonzero")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment at quick scale with
+// minimal trials — the smoke test that the full harness is runnable end to
+// end and produces populated artifacts.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			art, err := e.Run(Options{Scale: ScaleQuick, Trials: 2, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if art.ID != e.ID {
+				t.Fatalf("artifact id %s != %s", art.ID, e.ID)
+			}
+			if len(art.Tables) == 0 && len(art.Series) == 0 {
+				t.Fatal("artifact has neither tables nor series")
+			}
+			if len(art.Notes) == 0 {
+				t.Fatal("artifact has no shape notes")
+			}
+			for _, tb := range art.Tables {
+				if tb.NumRows() == 0 {
+					t.Fatalf("empty table %q", tb.Title)
+				}
+				if !strings.Contains(tb.String(), "-") {
+					t.Fatalf("table %q renders empty", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestSSFTrialConfig(t *testing.T) {
+	nm, err := noise.Uniform(4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssf := protocol.NewSSF()
+	cfg, err := ssfTrialConfig(ssf, 200, 16, 1, 0, nm, sim.CorruptWrongConsensus, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StabilityWindow <= 0 || cfg.MaxRounds <= cfg.StabilityWindow {
+		t.Fatalf("windows: %+v", cfg)
+	}
+	if cfg.Corruption != sim.CorruptWrongConsensus || cfg.Seed != 7 {
+		t.Fatalf("fields not propagated: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid delta for SSF propagates as an error.
+	bad, err := noise.Uniform(4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ssfTrialConfig(ssf, 200, 16, 1, 0, bad, sim.CorruptNone, 1); err == nil {
+		t.Fatal("invalid SSF noise accepted")
+	}
+}
+
+// TestExperimentArtifactsDeterministic re-runs an experiment with identical
+// options and requires byte-identical tables — the whole pipeline (trial
+// seeding, concurrent execution, aggregation, rendering) must be
+// reproducible.
+func TestExperimentArtifactsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness test")
+	}
+	for _, id := range []string{"E1", "E2", "E15"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		render := func() string {
+			art, err := e.Run(Options{Scale: ScaleQuick, Trials: 2, Seed: 77, Parallel: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			for _, tb := range art.Tables {
+				sb.WriteString(tb.String())
+			}
+			for _, note := range art.Notes {
+				sb.WriteString(note)
+			}
+			return sb.String()
+		}
+		if a, b := render(), render(); a != b {
+			t.Fatalf("%s artifacts differ between identical runs:\n--- first\n%s\n--- second\n%s", id, a, b)
+		}
+	}
+}

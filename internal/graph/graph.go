@@ -1,0 +1,209 @@
+// Package graph provides the communication topologies for the
+// graph-restricted extension of the noisy PULL model (experiment E18).
+//
+// The paper's model is the complete graph: every agent samples uniformly
+// from the whole population. Restricting samples to graph neighborhoods
+// probes how much "well-mixedness" the results actually need: random
+// regular graphs are expanders and behave like the complete graph, while
+// low-dimensional topologies (rings) break the uniform-source-access
+// assumption underlying the weak-opinion analysis.
+//
+// Graphs are simple (no self-loops, no multi-edges) and undirected.
+package graph
+
+import (
+	"fmt"
+
+	"noisypull/internal/rng"
+)
+
+// Graph is an undirected simple graph on vertices 0..n-1 stored as
+// adjacency lists. Construct with one of the generators; the zero value is
+// not usable.
+type Graph struct {
+	n   int
+	adj [][]int32
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of v without copying; callers must
+// not modify it.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// MinDegree returns the smallest vertex degree.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for _, a := range g.adj[1:] {
+		if len(a) < min {
+			min = len(a)
+		}
+	}
+	return min
+}
+
+// IsConnected reports whether the graph is connected (BFS).
+func (g *Graph) IsConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, 0)
+	seen[0] = true
+	visited := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				visited++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return visited == g.n
+}
+
+// build assembles a Graph from an edge set given as pair slices.
+func build(n int, us, vs []int32) *Graph {
+	adj := make([][]int32, n)
+	deg := make([]int, n)
+	for i := range us {
+		deg[us[i]]++
+		deg[vs[i]]++
+	}
+	for v := range adj {
+		adj[v] = make([]int32, 0, deg[v])
+	}
+	for i := range us {
+		adj[us[i]] = append(adj[us[i]], vs[i])
+		adj[vs[i]] = append(adj[vs[i]], us[i])
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// Ring returns the circulant graph on n vertices where every vertex is
+// adjacent to its k nearest neighbors on each side (degree 2k). It requires
+// n ≥ 2k+1 and k ≥ 1.
+func Ring(n, k int) (*Graph, error) {
+	if k < 1 || n < 2*k+1 {
+		return nil, fmt.Errorf("graph: Ring(n=%d, k=%d) needs n >= 2k+1, k >= 1", n, k)
+	}
+	var us, vs []int32
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k; d++ {
+			w := (v + d) % n
+			us = append(us, int32(v))
+			vs = append(vs, int32(w))
+		}
+	}
+	return build(n, us, vs), nil
+}
+
+// RandomRegular returns a random d-regular simple graph via the pairing
+// (configuration) model followed by random edge-swap repair of self-loops
+// and duplicate edges (pure rejection is infeasible beyond small d: the
+// acceptance probability is ≈ exp(−(d²−1)/4)). It requires n·d even,
+// 1 ≤ d < n.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("graph: RandomRegular degree %d out of range for n = %d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular needs n·d even, got %d·%d", n, d)
+	}
+	r := rng.New(seed)
+	half := make([]int32, n*d)
+	for v := 0; v < n; v++ {
+		for j := 0; j < d; j++ {
+			half[v*d+j] = int32(v)
+		}
+	}
+	r.Shuffle(len(half), func(i, j int) { half[i], half[j] = half[j], half[i] })
+
+	type edge struct{ a, b int32 }
+	norm := func(a, b int32) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{a, b}
+	}
+	m := len(half) / 2
+	us := make([]int32, m)
+	vs := make([]int32, m)
+	seen := make(map[edge]int, m) // multiplicity of each normalized edge
+	for i := 0; i < m; i++ {
+		us[i], vs[i] = half[2*i], half[2*i+1]
+		seen[norm(us[i], vs[i])]++
+	}
+	// bad reports whether edge i is a self-loop or part of a multi-edge.
+	bad := func(i int) bool {
+		if us[i] == vs[i] {
+			return true
+		}
+		return seen[norm(us[i], vs[i])] > 1
+	}
+	// Repair by random double-edge swaps: replace (a,b),(c,d) with
+	// (a,d),(c,b) when that strictly removes a conflict without adding one.
+	maxSwaps := 200 * m
+	for swaps := 0; swaps < maxSwaps; swaps++ {
+		i := -1
+		for j := 0; j < m; j++ {
+			if bad(j) {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return build(n, us, vs), nil
+		}
+		j := r.Intn(m)
+		if j == i {
+			continue
+		}
+		a, b := us[i], vs[i]
+		c, d2 := us[j], vs[j]
+		// Proposed replacements (a,d2) and (c,b).
+		if a == d2 || c == b {
+			continue
+		}
+		if seen[norm(a, d2)] > 0 || seen[norm(c, b)] > 0 {
+			continue
+		}
+		seen[norm(a, b)]--
+		seen[norm(c, d2)]--
+		vs[i], vs[j] = d2, b
+		seen[norm(a, d2)]++
+		seen[norm(c, b)]++
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d) repair did not converge", n, d)
+}
+
+// ErdosRenyi returns a G(n, p) random graph. Isolated vertices are
+// possible at small p; callers that need positive minimum degree should
+// check MinDegree.
+func ErdosRenyi(n int, p float64, seed uint64) (*Graph, error) {
+	if n < 1 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: ErdosRenyi(n=%d, p=%v) invalid", n, p)
+	}
+	r := rng.New(seed)
+	var us, vs []int32
+	for v := 0; v < n; v++ {
+		for w := v + 1; w < n; w++ {
+			if r.Bernoulli(p) {
+				us = append(us, int32(v))
+				vs = append(vs, int32(w))
+			}
+		}
+	}
+	return build(n, us, vs), nil
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestRingStructure(t *testing.T) {
+	g, err := Ring(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+	if g.MinDegree() != 4 {
+		t.Fatalf("MinDegree = %d", g.MinDegree())
+	}
+	if !g.IsConnected() {
+		t.Fatal("ring not connected")
+	}
+	// Vertex 0's neighbors are {1, 2, 8, 9}.
+	want := map[int32]bool{1: true, 2: true, 8: true, 9: true}
+	for _, w := range g.Neighbors(0) {
+		if !want[w] {
+			t.Fatalf("unexpected neighbor %d of 0", w)
+		}
+		delete(want, w)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing neighbors: %v", want)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := Ring(4, 2); err == nil {
+		t.Error("Ring(4,2) accepted")
+	}
+	if _, err := Ring(10, 0); err == nil {
+		t.Error("Ring(10,0) accepted")
+	}
+}
+
+func TestRandomRegularProperties(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{50, 4}, {101, 8}, {64, 3}} {
+		g, err := RandomRegular(tc.n, tc.d, 7)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d, %d): %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < tc.n; v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("n=%d d=%d: vertex %d has degree %d", tc.n, tc.d, v, g.Degree(v))
+			}
+			// Simple graph: no self-loops, no duplicates.
+			seen := map[int32]bool{}
+			for _, w := range g.Neighbors(v) {
+				if int(w) == v {
+					t.Fatalf("self-loop at %d", v)
+				}
+				if seen[w] {
+					t.Fatalf("duplicate edge %d-%d", v, w)
+				}
+				seen[w] = true
+			}
+		}
+		// d-regular graphs with d >= 3 are connected w.h.p.
+		if tc.d >= 3 && !g.IsConnected() {
+			t.Fatalf("n=%d d=%d: disconnected", tc.n, tc.d)
+		}
+	}
+}
+
+func TestRandomRegularValidation(t *testing.T) {
+	if _, err := RandomRegular(10, 0, 1); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := RandomRegular(10, 10, 1); err == nil {
+		t.Error("degree n accepted")
+	}
+	if _, err := RandomRegular(5, 3, 1); err == nil {
+		t.Error("odd n*d accepted")
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a, err := RandomRegular(40, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(40, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 40; v++ {
+		an, bn := a.Neighbors(v), b.Neighbors(v)
+		if len(an) != len(bn) {
+			t.Fatal("nondeterministic generation")
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatal("nondeterministic generation")
+			}
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(200, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected degree ~20; check the total edge count is in a sane band.
+	total := 0
+	for v := 0; v < 200; v++ {
+		total += g.Degree(v)
+	}
+	edges := total / 2
+	// E = C(200,2)*0.1 = 1990, sd ~ 42.
+	if edges < 1700 || edges > 2300 {
+		t.Fatalf("G(200, .1) has %d edges", edges)
+	}
+	if !g.IsConnected() {
+		t.Fatal("G(200, .1) should be connected w.h.p.")
+	}
+	if _, err := ErdosRenyi(0, 0.5, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ErdosRenyi(10, 1.5, 1); err == nil {
+		t.Error("p>1 accepted")
+	}
+}
+
+func TestErdosRenyiEdgeProbabilities(t *testing.T) {
+	empty, err := ErdosRenyi(20, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.MinDegree() != 0 || empty.IsConnected() {
+		t.Fatal("G(20, 0) should be empty and disconnected")
+	}
+	full, err := ErdosRenyi(20, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 20; v++ {
+		if full.Degree(v) != 19 {
+			t.Fatalf("G(20,1) vertex %d degree %d", v, full.Degree(v))
+		}
+	}
+}
+
+func TestIsConnectedDetectsSplit(t *testing.T) {
+	// Two disjoint triangles.
+	g := build(6, []int32{0, 1, 2, 3, 4, 5}, []int32{1, 2, 0, 4, 5, 3})
+	if g.IsConnected() {
+		t.Fatal("disjoint triangles reported connected")
+	}
+}

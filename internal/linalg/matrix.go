@@ -1,0 +1,302 @@
+// Package linalg provides the small dense-matrix operations the noise-matrix
+// toolkit needs: multiplication, Gauss–Jordan inversion with partial
+// pivoting, the ∞ operator norm, and (weak) stochasticity checks.
+//
+// The matrices involved are noise matrices over a message alphabet, so they
+// are tiny (d = |Σ|, typically 2 or 4); clarity and exactness matter more
+// than cache blocking. All operations are allocation-explicit and none
+// mutate their receivers unless documented.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned by Inverse when the matrix is numerically
+// singular.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Matrix is a dense row-major d×d (or rectangular r×c) matrix of float64.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape. It panics if either
+// dimension is not positive.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal,
+// positive length. The data is copied.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("linalg: FromRows needs a non-empty rectangular input")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.cols {
+			return nil, fmt.Errorf("linalg: row %d has length %d, want %d", i, len(row), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], row)
+	}
+	return m, nil
+}
+
+// Identity returns the d×d identity matrix.
+func Identity(d int) *Matrix {
+	m := NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of bounds for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of bounds", i))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// RowView returns row i without copying. The caller must not let the view
+// outlive mutations of the matrix it reads from.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of bounds", i))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Mul returns the product m·b. It returns an error on shape mismatch.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("linalg: cannot multiply %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the product m·x. It returns an error on shape mismatch.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("linalg: cannot multiply %dx%d by vector of length %d", m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// Inverse returns m⁻¹ computed by Gauss–Jordan elimination with partial
+// pivoting. It returns ErrSingular if a pivot smaller than tol·‖row‖ is
+// encountered. The receiver is not modified.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("linalg: cannot invert %dx%d matrix", m.rows, m.cols)
+	}
+	d := m.rows
+	a := m.Clone()
+	inv := Identity(d)
+	const tol = 1e-13
+
+	for col := 0; col < d; col++ {
+		// Partial pivoting: pick the row with the largest magnitude in this
+		// column at or below the diagonal.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < d; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < tol {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		// Normalize the pivot row.
+		pv := a.At(col, col)
+		a.scaleRow(col, 1/pv)
+		inv.scaleRow(col, 1/pv)
+		// Eliminate the column from every other row.
+		for r := 0; r < d; r++ {
+			if r == col {
+				continue
+			}
+			factor := a.At(r, col)
+			if factor == 0 {
+				continue
+			}
+			a.addScaledRow(r, col, -factor)
+			inv.addScaledRow(r, col, -factor)
+		}
+	}
+	return inv, nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func (m *Matrix) scaleRow(i int, f float64) {
+	row := m.data[i*m.cols : (i+1)*m.cols]
+	for k := range row {
+		row[k] *= f
+	}
+}
+
+// addScaledRow adds f times row src to row dst.
+func (m *Matrix) addScaledRow(dst, src int, f float64) {
+	rd := m.data[dst*m.cols : (dst+1)*m.cols]
+	rs := m.data[src*m.cols : (src+1)*m.cols]
+	for k := range rd {
+		rd[k] += f * rs[k]
+	}
+}
+
+// InfNorm returns the operator ∞-norm: the maximum absolute row sum
+// (Eq. (4) of the paper).
+func (m *Matrix) InfNorm() float64 {
+	var max float64
+	for i := 0; i < m.rows; i++ {
+		var sum float64
+		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			sum += math.Abs(v)
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	return max
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between m
+// and b. It returns an error on shape mismatch.
+func (m *Matrix) MaxAbsDiff(b *Matrix) (float64, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return 0, fmt.Errorf("linalg: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	var max float64
+	for i, v := range m.data {
+		if d := math.Abs(v - b.data[i]); d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// IsWeaklyStochastic reports whether every row sums to 1 within tol
+// (Definition 9: coefficients may be negative).
+func (m *Matrix) IsWeaklyStochastic(tol float64) bool {
+	for i := 0; i < m.rows; i++ {
+		var sum float64
+		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStochastic reports whether the matrix is weakly stochastic with all
+// coefficients ≥ -tol (Definition 9).
+func (m *Matrix) IsStochastic(tol float64) bool {
+	if !m.IsWeaklyStochastic(tol) {
+		return false
+	}
+	for _, v := range m.data {
+		if v < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for diagnostics.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%.6g", m.At(i, j))
+		}
+		sb.WriteString("]")
+		if i < m.rows-1 {
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

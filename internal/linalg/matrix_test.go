@@ -1,0 +1,321 @@
+package linalg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"noisypull/internal/rng"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0, 1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("FromRows(nil) did not error")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged FromRows did not error")
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.Set(2, 1, 4.5)
+	if got := m.At(2, 1); got != 4.5 {
+		t.Fatalf("At = %v", got)
+	}
+}
+
+func TestIndexBoundsPanic(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(5) },
+		func() { m.RowView(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-bounds access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(3)[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRowCopySemantics(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("Row did not copy")
+	}
+	v := m.RowView(1)
+	v[0] = 77
+	if m.At(1, 0) != 77 {
+		t.Fatal("RowView did not alias")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromRows(t, [][]float64{{19, 22}, {43, 50}})
+	if d, _ := p.MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("Mul = %v", p)
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("shape mismatch did not error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("MulVec shape mismatch did not error")
+	}
+}
+
+func TestInverseIdentity(t *testing.T) {
+	id := Identity(4)
+	inv, err := id.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := inv.MaxAbsDiff(id); d > 1e-12 {
+		t.Fatalf("Identity inverse differs by %v", d)
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{4, 7}, {2, 6}})
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromRows(t, [][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if d, _ := inv.MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("inverse = \n%v", inv)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {2, 4}})
+	if _, err := m.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("singular inverse error = %v", err)
+	}
+}
+
+func TestInverseNonSquare(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("non-square inverse did not error")
+	}
+}
+
+func TestInverseNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	m := mustFromRows(t, [][]float64{{0, 1}, {1, 0}})
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := m.Mul(inv)
+	if d, _ := prod.MaxAbsDiff(Identity(2)); d > 1e-12 {
+		t.Fatalf("pivot inverse product differs by %v", d)
+	}
+}
+
+// TestInverseRoundTripProperty checks A·A⁻¹ ≈ I for random well-conditioned
+// matrices (diagonally dominant, hence invertible).
+func TestInverseRoundTripProperty(t *testing.T) {
+	r := rng.New(99)
+	f := func(dRaw uint8) bool {
+		d := int(dRaw%6) + 2
+		m := NewMatrix(d, d)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				m.Set(i, j, r.Float64()-0.5)
+			}
+			// Diagonal dominance guarantees invertibility.
+			m.Set(i, i, m.At(i, i)+float64(d))
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		prod, err := m.Mul(inv)
+		if err != nil {
+			return false
+		}
+		diff, err := prod.MaxAbsDiff(Identity(d))
+		return err == nil && diff < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfNorm(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, -2}, {3, 0.5}})
+	if got := m.InfNorm(); got != 3.5 {
+		t.Fatalf("InfNorm = %v", got)
+	}
+}
+
+func TestStochasticChecks(t *testing.T) {
+	stoch := mustFromRows(t, [][]float64{{0.25, 0.75}, {0.5, 0.5}})
+	if !stoch.IsStochastic(1e-12) || !stoch.IsWeaklyStochastic(1e-12) {
+		t.Fatal("stochastic matrix misclassified")
+	}
+	weak := mustFromRows(t, [][]float64{{1.5, -0.5}, {0.5, 0.5}})
+	if !weak.IsWeaklyStochastic(1e-12) {
+		t.Fatal("weakly stochastic matrix misclassified")
+	}
+	if weak.IsStochastic(1e-12) {
+		t.Fatal("negative-entry matrix classified as stochastic")
+	}
+	bad := mustFromRows(t, [][]float64{{0.4, 0.4}, {0.5, 0.5}})
+	if bad.IsWeaklyStochastic(1e-12) {
+		t.Fatal("non-stochastic matrix misclassified")
+	}
+}
+
+// TestInverseWeaklyStochastic verifies Claim 12: the inverse of an
+// invertible weakly-stochastic matrix is weakly stochastic.
+func TestInverseWeaklyStochastic(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 100; trial++ {
+		d := 2 + r.Intn(4)
+		m := NewMatrix(d, d)
+		for i := 0; i < d; i++ {
+			sum := 0.0
+			for j := 0; j < d; j++ {
+				v := r.Float64() * 0.3
+				if i == j {
+					v += 1
+				}
+				m.Set(i, j, v)
+				sum += v
+			}
+			// Normalize row to sum 1 (keeps diagonal dominance).
+			for j := 0; j < d; j++ {
+				m.Set(i, j, m.At(i, j)/sum)
+			}
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !inv.IsWeaklyStochastic(1e-8) {
+			t.Fatalf("trial %d: inverse of weakly-stochastic matrix is not weakly stochastic:\n%v", trial, inv)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliased the original")
+	}
+}
+
+func TestMaxAbsDiffShapeMismatch(t *testing.T) {
+	if _, err := NewMatrix(2, 2).MaxAbsDiff(NewMatrix(3, 3)); err == nil {
+		t.Fatal("MaxAbsDiff shape mismatch did not error")
+	}
+}
+
+func TestString(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	s := m.String()
+	if !strings.Contains(s, "1") || !strings.Contains(s, "4") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestRowsCols(t *testing.T) {
+	m := NewMatrix(3, 5)
+	if m.Rows() != 3 || m.Cols() != 5 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestInfNormBoundForInverse(t *testing.T) {
+	// Corollary 14 sanity on a concrete delta-upper-bounded matrix:
+	// ||N^{-1}||_inf <= (d-1)/(1-d*delta).
+	delta := 0.1
+	d := 3
+	m := NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			if i == j {
+				m.Set(i, j, 1-float64(d-1)*delta)
+			} else {
+				m.Set(i, j, delta)
+			}
+		}
+	}
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := float64(d-1) / (1 - float64(d)*delta)
+	if got := inv.InfNorm(); got > bound+1e-9 {
+		t.Fatalf("InfNorm(N^-1) = %v exceeds Corollary 14 bound %v", got, bound)
+	}
+}

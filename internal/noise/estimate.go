@@ -1,0 +1,96 @@
+package noise
+
+import (
+	"fmt"
+
+	"noisypull/internal/rng"
+)
+
+// The paper assumes agents know the noise matrix N (Section 1.3). In a
+// deployment N must be measured: Estimator accumulates calibration
+// observations — pairs (displayed symbol, observed symbol) gathered from a
+// channel with known inputs — and produces the maximum-likelihood estimate
+// N̂[i][j] = count(i→j)/count(i). EstimateChannel drives a Channel directly
+// for the common case of calibrating a simulated link.
+
+// Estimator accumulates (displayed, observed) calibration pairs.
+// The zero value is not usable; construct with NewEstimator.
+type Estimator struct {
+	d      int
+	counts [][]int
+	rows   []int
+}
+
+// NewEstimator returns an estimator for an alphabet of size d ≥ 2.
+func NewEstimator(d int) (*Estimator, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("noise: estimator alphabet %d < 2", d)
+	}
+	counts := make([][]int, d)
+	for i := range counts {
+		counts[i] = make([]int, d)
+	}
+	return &Estimator{d: d, counts: counts, rows: make([]int, d)}, nil
+}
+
+// Alphabet returns the alphabet size.
+func (e *Estimator) Alphabet() int { return e.d }
+
+// Record adds one calibration pair. It returns an error if either symbol is
+// outside the alphabet.
+func (e *Estimator) Record(displayed, observed int) error {
+	if displayed < 0 || displayed >= e.d || observed < 0 || observed >= e.d {
+		return fmt.Errorf("noise: calibration pair (%d, %d) outside alphabet %d", displayed, observed, e.d)
+	}
+	e.counts[displayed][observed]++
+	e.rows[displayed]++
+	return nil
+}
+
+// Observations returns the total number of recorded pairs for symbol i.
+func (e *Estimator) Observations(i int) int {
+	if i < 0 || i >= e.d {
+		return 0
+	}
+	return e.rows[i]
+}
+
+// Estimate returns the maximum-likelihood noise matrix. Every symbol must
+// have at least one recorded observation; minPerRow (≥ 1) lets callers
+// demand a larger calibration budget per row.
+func (e *Estimator) Estimate(minPerRow int) (*Matrix, error) {
+	if minPerRow < 1 {
+		minPerRow = 1
+	}
+	rows := make([][]float64, e.d)
+	for i := 0; i < e.d; i++ {
+		if e.rows[i] < minPerRow {
+			return nil, fmt.Errorf("noise: symbol %d has %d calibration observations, need at least %d", i, e.rows[i], minPerRow)
+		}
+		rows[i] = make([]float64, e.d)
+		for j := 0; j < e.d; j++ {
+			rows[i][j] = float64(e.counts[i][j]) / float64(e.rows[i])
+		}
+	}
+	return FromRows(rows)
+}
+
+// EstimateChannel calibrates a channel by pushing samplesPerSymbol known
+// inputs of every symbol through it and estimating the transition matrix.
+func EstimateChannel(c *Channel, r *rng.Stream, samplesPerSymbol int) (*Matrix, error) {
+	if samplesPerSymbol < 1 {
+		return nil, fmt.Errorf("noise: samplesPerSymbol = %d", samplesPerSymbol)
+	}
+	est, err := NewEstimator(c.Matrix().Alphabet())
+	if err != nil {
+		return nil, err
+	}
+	for sigma := 0; sigma < est.d; sigma++ {
+		for s := 0; s < samplesPerSymbol; s++ {
+			if err := est.Record(sigma, c.Apply(r, sigma)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return est.Estimate(samplesPerSymbol)
+}

@@ -1,0 +1,128 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"noisypull/internal/rng"
+)
+
+func TestNewEstimatorRejectsTinyAlphabet(t *testing.T) {
+	if _, err := NewEstimator(1); err == nil {
+		t.Fatal("alphabet 1 accepted")
+	}
+}
+
+func TestEstimatorRecordValidation(t *testing.T) {
+	e, err := NewEstimator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Alphabet() != 2 {
+		t.Fatalf("Alphabet = %d", e.Alphabet())
+	}
+	for _, pair := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		if err := e.Record(pair[0], pair[1]); err == nil {
+			t.Errorf("pair %v accepted", pair)
+		}
+	}
+	if err := e.Record(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Observations(0) != 1 || e.Observations(1) != 0 || e.Observations(9) != 0 {
+		t.Fatal("observation counts wrong")
+	}
+}
+
+func TestEstimateRequiresCoverage(t *testing.T) {
+	e, err := NewEstimator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Record(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Symbol 1 never calibrated.
+	if _, err := e.Estimate(1); err == nil {
+		t.Fatal("estimate without full coverage accepted")
+	}
+	if err := e.Record(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Estimate(2); err == nil {
+		t.Fatal("minPerRow not enforced")
+	}
+	m, err := e.Estimate(0) // clamped to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 1) != 1 {
+		t.Fatalf("deterministic estimate = \n%v", m)
+	}
+}
+
+func TestEstimateExactFractions(t *testing.T) {
+	e, err := NewEstimator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 of 4 displayed-0 observed as 0; all displayed-1 observed as 1.
+	for _, pair := range [][2]int{{0, 0}, {0, 0}, {0, 0}, {0, 1}, {1, 1}, {1, 1}} {
+		if err := e.Record(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := e.Estimate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.At(0, 0)-0.75) > 1e-12 || math.Abs(m.At(0, 1)-0.25) > 1e-12 {
+		t.Fatalf("estimate = \n%v", m)
+	}
+}
+
+func TestEstimateChannelRecoversMatrix(t *testing.T) {
+	truth, err := FromRows([][]float64{
+		{0.8, 0.15, 0.05},
+		{0.1, 0.8, 0.1},
+		{0.05, 0.05, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChannel(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	est, err := EstimateChannel(c, r, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := est.Linalg().MaxAbsDiff(truth.Linalg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binomial sd at 1e5 samples is <= 0.0016; allow 4 sigma.
+	if dev > 0.0065 {
+		t.Fatalf("estimate deviates by %v:\n%v", dev, est)
+	}
+	// The estimate must be usable downstream: classify and reduce it.
+	if _, err := Reduce(est); err != nil {
+		t.Fatalf("estimated matrix not reducible: %v", err)
+	}
+}
+
+func TestEstimateChannelValidation(t *testing.T) {
+	truth, err := Uniform(2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChannel(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateChannel(c, rng.New(1), 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}

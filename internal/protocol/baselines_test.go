@@ -1,0 +1,194 @@
+package protocol
+
+import (
+	"testing"
+
+	"noisypull/internal/rng"
+	"noisypull/internal/sim"
+)
+
+func TestVoterAlphabetAndRoles(t *testing.T) {
+	v := Voter{}
+	if v.Alphabet() != 2 {
+		t.Fatal("voter alphabet != 2")
+	}
+	env := sfEnv()
+	src := v.NewAgent(0, sim.Role{IsSource: true, Preference: 1}, env).(*voterAgent)
+	if src.Display() != 1 || src.Opinion() != 1 {
+		t.Fatal("voter source does not display preference")
+	}
+	ns := v.NewAgent(1, sim.Role{}, env).(*voterAgent)
+	if ns.Display() != 0 {
+		t.Fatal("fresh voter non-source displays nonzero")
+	}
+}
+
+func TestVoterAdoptsObservedSymbol(t *testing.T) {
+	env := sfEnv()
+	a := Voter{}.NewAgent(1, sim.Role{}, env).(*voterAgent)
+	r := rng.New(1)
+	a.Observe([]int{0, 10}, r) // all observations are 1
+	if a.Opinion() != 1 {
+		t.Fatal("voter did not adopt unanimous observation")
+	}
+	a.Observe([]int{10, 0}, r)
+	if a.Opinion() != 0 {
+		t.Fatal("voter did not adopt unanimous observation")
+	}
+	// Proportional adoption: ~30% ones.
+	ones, trials := 0, 2000
+	for i := 0; i < trials; i++ {
+		a.Observe([]int{7, 3}, r)
+		ones += a.Opinion()
+	}
+	if ones < 450 || ones > 750 {
+		t.Fatalf("voter adopted 1 in %d/%d rounds, want ~600", ones, trials)
+	}
+}
+
+func TestVoterZealotNeverMoves(t *testing.T) {
+	env := sfEnv()
+	a := Voter{}.NewAgent(0, sim.Role{IsSource: true, Preference: 0}, env).(*voterAgent)
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		a.Observe([]int{0, 10}, r)
+		if a.Opinion() != 0 || a.Display() != 0 {
+			t.Fatal("zealot moved")
+		}
+	}
+}
+
+func TestVoterEmptyObservation(t *testing.T) {
+	env := sfEnv()
+	a := Voter{}.NewAgent(1, sim.Role{}, env).(*voterAgent)
+	a.opinion = 1
+	a.Observe([]int{0, 0}, rng.New(3))
+	if a.Opinion() != 1 {
+		t.Fatal("voter changed opinion on empty observation")
+	}
+}
+
+func TestVoterCorruption(t *testing.T) {
+	env := sfEnv()
+	r := rng.New(4)
+	a := Voter{}.NewAgent(1, sim.Role{}, env).(*voterAgent)
+	a.Corrupt(sim.CorruptWrongConsensus, 1, r)
+	if a.Opinion() != 1 {
+		t.Fatal("corruption ignored")
+	}
+	src := Voter{}.NewAgent(0, sim.Role{IsSource: true, Preference: 0}, env).(*voterAgent)
+	src.Corrupt(sim.CorruptWrongConsensus, 1, r)
+	if src.Opinion() != 0 {
+		t.Fatal("source corrupted despite incorruptible preference display")
+	}
+}
+
+func TestMajorityRuleBasics(t *testing.T) {
+	m := MajorityRule{}
+	if m.Alphabet() != 2 {
+		t.Fatal("majority alphabet != 2")
+	}
+	env := sfEnv()
+	a := m.NewAgent(2, sim.Role{}, env).(*majorityAgent)
+	if a.Opinion() != 0 { // id parity
+		t.Fatal("id-2 agent initial opinion != 0")
+	}
+	b := m.NewAgent(3, sim.Role{}, env).(*majorityAgent)
+	if b.Opinion() != 1 {
+		t.Fatal("id-3 agent initial opinion != 1")
+	}
+	r := rng.New(5)
+	a.Observe([]int{2, 8}, r)
+	if a.Opinion() != 1 {
+		t.Fatal("majority agent did not adopt majority")
+	}
+	a.Observe([]int{9, 1}, r)
+	if a.Opinion() != 0 {
+		t.Fatal("majority agent did not adopt majority")
+	}
+}
+
+func TestMajorityRuleSourceFixed(t *testing.T) {
+	env := sfEnv()
+	a := MajorityRule{}.NewAgent(0, sim.Role{IsSource: true, Preference: 1}, env).(*majorityAgent)
+	r := rng.New(6)
+	a.Observe([]int{10, 0}, r)
+	if a.Opinion() != 1 || a.Display() != 1 {
+		t.Fatal("majority source moved")
+	}
+}
+
+func TestTrustBitBasics(t *testing.T) {
+	tb := TrustBit{}
+	if tb.Alphabet() != 4 {
+		t.Fatal("trustbit alphabet != 4")
+	}
+	env := ssfEnv()
+	src := tb.NewAgent(0, sim.Role{IsSource: true, Preference: 1}, env).(*trustBitAgent)
+	if src.Display() != ssfSym11 {
+		t.Fatal("trustbit source display wrong")
+	}
+	ns := tb.NewAgent(2, sim.Role{}, env).(*trustBitAgent)
+	if ns.informed {
+		t.Fatal("fresh non-source claims informed")
+	}
+	if ns.Display() != ssfSym00 { // id 2: opinion 0, uninformed
+		t.Fatalf("fresh display = %d", ns.Display())
+	}
+}
+
+func TestTrustBitAdoptionAndCascade(t *testing.T) {
+	env := ssfEnv()
+	r := rng.New(7)
+	a := TrustBit{}.NewAgent(2, sim.Role{}, env).(*trustBitAgent)
+
+	// No tagged messages: nothing happens.
+	a.Observe([]int{5, 5, 0, 0}, r)
+	if a.informed {
+		t.Fatal("adopted from untagged messages")
+	}
+
+	// Tagged messages leaning 0: adopt 0, become informed, display (1,0).
+	a.Observe([]int{0, 0, 3, 1}, r)
+	if !a.informed || a.Opinion() != 0 {
+		t.Fatalf("informed=%v opinion=%d", a.informed, a.Opinion())
+	}
+	if a.Display() != ssfSym10 {
+		t.Fatalf("informed display = %d", a.Display())
+	}
+
+	// The cascade: a later forged tag flips it again (no damping).
+	a.Observe([]int{0, 0, 0, 2}, r)
+	if a.Opinion() != 1 {
+		t.Fatal("trustbit did not flip on new tagged messages")
+	}
+}
+
+func TestTrustBitSourceFixed(t *testing.T) {
+	env := ssfEnv()
+	r := rng.New(8)
+	src := TrustBit{}.NewAgent(0, sim.Role{IsSource: true, Preference: 0}, env).(*trustBitAgent)
+	src.Observe([]int{0, 0, 0, 9}, r)
+	if src.Opinion() != 0 || src.Display() != ssfSym10 {
+		t.Fatal("trustbit source moved")
+	}
+}
+
+func TestBaselineCorruptions(t *testing.T) {
+	env := ssfEnv()
+	r := rng.New(9)
+	a := TrustBit{}.NewAgent(2, sim.Role{}, env).(*trustBitAgent)
+	a.Corrupt(sim.CorruptWrongConsensus, 1, r)
+	if !a.informed || a.Opinion() != 1 {
+		t.Fatal("trustbit corruption ignored")
+	}
+	m := MajorityRule{}.NewAgent(2, sim.Role{}, sfEnv()).(*majorityAgent)
+	m.Corrupt(sim.CorruptWrongConsensus, 1, r)
+	if m.Opinion() != 1 {
+		t.Fatal("majority corruption ignored")
+	}
+	m.Corrupt(sim.CorruptRandom, 1, r)
+	if op := m.Opinion(); op != 0 && op != 1 {
+		t.Fatal("random corruption out of range")
+	}
+}

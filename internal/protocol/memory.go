@@ -1,0 +1,61 @@
+package protocol
+
+import (
+	"math"
+
+	"noisypull/internal/sim"
+)
+
+// Both theorems bound the per-agent memory by O(log T + log h) bits. This
+// file makes that claim measurable: MemoryBits reports the number of bits
+// of mutable state one agent of each protocol actually needs, computed
+// from the value ranges of its state variables. Experiment E19 sweeps the
+// system size and checks the O(log T + log h) shape.
+
+// bitsFor returns the number of bits needed to store a value in [0, max].
+func bitsFor(max int) int {
+	if max <= 0 {
+		return 1
+	}
+	return int(math.Floor(math.Log2(float64(max)))) + 1
+}
+
+// MemoryBits returns the bits of mutable per-agent state SF needs in env:
+// the round clock, two phase counters, the boosting sub-phase index and
+// its two message counters, plus the opinion and weak-opinion bits (and
+// one coin bit for the alternating variant). Theorem 4 bounds this by
+// O(log T + log h).
+func (p *SF) MemoryBits(env sim.Env) (int, error) {
+	m, t, w, l, err := p.params(env)
+	if err != nil {
+		return 0, err
+	}
+	total := 3*t + l*ceilDiv(w, env.H) // the full schedule length
+	counterMax := m + env.H            // counters accumulate whole rounds
+	boostMax := m + env.H
+	if w > m {
+		boostMax = w + env.H
+	}
+	bits := bitsFor(total) + // round
+		2*bitsFor(counterMax) + // counter1, counter0
+		bitsFor(l+1) + // subPhase
+		2*bitsFor(boostMax) + // boostOnes, boostAll
+		2 // weakOpinion, opinion
+	if p.alternating {
+		bits++ // firstSym coin
+	}
+	return bits, nil
+}
+
+// MemoryBits returns the bits of mutable per-agent state SSF needs in env:
+// four memory counters and their total (each at most m+h−1 after an
+// update-round flush), plus the opinion and weak-opinion bits. Theorem 5
+// bounds this by O(log T + log h); note SSF needs no round clock at all.
+func (p *SSF) MemoryBits(env sim.Env) (int, error) {
+	m, err := p.quota(env)
+	if err != nil {
+		return 0, err
+	}
+	counterMax := m + env.H
+	return 5*bitsFor(counterMax) + 2, nil
+}

@@ -1,0 +1,148 @@
+// Package protocol implements the paper's information-spreading protocols —
+// Source Filter (SF, Algorithm 1, Theorem 4) and Self-stabilizing Source
+// Filter (SSF, Algorithm 2, Theorem 5) — together with the baseline
+// dynamics the paper's introduction argues must fail under noisy PULL
+// communication (voter with zealots, plain h-majority, and the naive
+// trust-the-source-bit cascade).
+//
+// All protocols plug into the engine of package sim: they are factories of
+// per-agent state machines that display symbols and consume per-symbol
+// observation counts.
+package protocol
+
+import (
+	"fmt"
+	"math"
+
+	"noisypull/internal/sim"
+)
+
+// DefaultC1 is the default value of the paper's "sufficiently large
+// constant" c1 in the sample-size formulas (Eq. 19 and Eq. 30). The paper's
+// analysis constants are loose; this default was calibrated empirically so
+// that the protocols succeed with probability ≥ 0.95 across the test grid
+// (see EXPERIMENTS.md). It can be overridden per protocol.
+const DefaultC1 = 4.0
+
+// DefaultBoostWindow is the numerator of the per-sub-phase message quota
+// w = boostWindow/(1−2δ)² in SF's Majority Boosting phase (the paper uses
+// 100; Lemma 31/33).
+const DefaultBoostWindow = 100.0
+
+// DefaultBoostSubPhases is the multiplier L = boostSubPhases·ln n for the
+// number of short boosting sub-phases (the paper uses 10·log n).
+const DefaultBoostSubPhases = 10.0
+
+// SFMessageCount returns the per-phase sample budget m of Algorithm SF for
+// the given environment, per Eq. (19):
+//
+//	m = c1·( n·δ·ln n / (min{s², n}·(1−2δ)²)
+//	       + √n·ln n / s
+//	       + (s0+s1)·ln n / s²
+//	       + h·ln n ).
+//
+// It returns an error when the environment is outside SF's domain
+// (alphabet 2, δ < 1/2, bias ≥ 1).
+func SFMessageCount(env sim.Env, c1 float64) (int, error) {
+	if err := checkSFEnv(env); err != nil {
+		return 0, err
+	}
+	if c1 <= 0 {
+		return 0, fmt.Errorf("protocol: c1 = %v must be positive", c1)
+	}
+	n := float64(env.N)
+	logn := math.Log(math.Max(n, 2))
+	s := float64(env.Bias)
+	srcs := float64(env.Sources)
+	denom := 1 - 2*env.Delta
+
+	term1 := n * env.Delta * logn / (math.Min(s*s, n) * denom * denom)
+	term2 := math.Sqrt(n) * logn / s
+	term3 := srcs * logn / (s * s)
+	term4 := float64(env.H) * logn
+	m := c1 * (term1 + term2 + term3 + term4)
+	if m < 1 {
+		m = 1
+	}
+	if m > math.MaxInt32 {
+		return 0, fmt.Errorf("protocol: SF sample budget m = %.3g overflows", m)
+	}
+	return int(math.Ceil(m)), nil
+}
+
+// SSFMessageCount returns the update quota m of Algorithm SSF per Eq. (30):
+//
+//	m = c1·( δ·n·ln n / (1−4δ)² + n ).
+//
+// SSF uses the 4-symbol alphabet {0,1}², so it requires δ < 1/4. Unlike SF,
+// m does not depend on the bias (Theorem 5 holds without agents knowing s).
+func SSFMessageCount(env sim.Env, c1 float64) (int, error) {
+	if err := checkSSFEnv(env); err != nil {
+		return 0, err
+	}
+	if c1 <= 0 {
+		return 0, fmt.Errorf("protocol: c1 = %v must be positive", c1)
+	}
+	n := float64(env.N)
+	logn := math.Log(math.Max(n, 2))
+	denom := 1 - 4*env.Delta
+	m := c1 * (env.Delta*n*logn/(denom*denom) + n)
+	if m < 1 {
+		m = 1
+	}
+	if m > math.MaxInt32 {
+		return 0, fmt.Errorf("protocol: SSF update quota m = %.3g overflows", m)
+	}
+	return int(math.Ceil(m)), nil
+}
+
+func checkSFEnv(env sim.Env) error {
+	if env.Alphabet != 2 {
+		return fmt.Errorf("protocol: SF uses alphabet {0,1}, got size %d", env.Alphabet)
+	}
+	return checkCommonEnv(env, 0.5)
+}
+
+func checkSSFEnv(env sim.Env) error {
+	if env.Alphabet != 4 {
+		return fmt.Errorf("protocol: SSF uses alphabet {0,1}², got size %d", env.Alphabet)
+	}
+	return checkCommonEnv(env, 0.25)
+}
+
+func checkCommonEnv(env sim.Env, deltaLimit float64) error {
+	if env.N < 2 {
+		return fmt.Errorf("protocol: population %d too small", env.N)
+	}
+	if env.H < 1 {
+		return fmt.Errorf("protocol: sample size h = %d", env.H)
+	}
+	if env.Bias < 1 {
+		return fmt.Errorf("protocol: bias %d < 1; the correct opinion is undefined", env.Bias)
+	}
+	if env.Sources < 1 || env.Sources > env.N {
+		return fmt.Errorf("protocol: source count %d out of range", env.Sources)
+	}
+	if env.Delta < 0 || env.Delta >= deltaLimit {
+		return fmt.Errorf("protocol: uniform noise level δ = %v outside [0, %v)", env.Delta, deltaLimit)
+	}
+	return nil
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int) int {
+	return (a + b - 1) / b
+}
+
+// majority returns 1 if ones > zeros, 0 if zeros > ones, and a fair coin
+// toss on a tie — the tie-breaking rule used throughout both algorithms.
+func majority(ones, zeros int, coin func() int) int {
+	switch {
+	case ones > zeros:
+		return 1
+	case zeros > ones:
+		return 0
+	default:
+		return coin()
+	}
+}

@@ -1,0 +1,259 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"noisypull/internal/sim"
+)
+
+func sfEnv() sim.Env {
+	return sim.Env{N: 1000, H: 10, Alphabet: 2, Delta: 0.2, Sources: 1, Bias: 1}
+}
+
+func ssfEnv() sim.Env {
+	return sim.Env{N: 1000, H: 10, Alphabet: 4, Delta: 0.1, Sources: 1, Bias: 1}
+}
+
+func TestSFMessageCountFormula(t *testing.T) {
+	env := sfEnv()
+	m, err := SFMessageCount(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log(1000.0)
+	want := 1000*0.2*logn/(1*0.36) + math.Sqrt(1000)*logn + 1*logn + 10*logn
+	if got := float64(m); math.Abs(got-math.Ceil(want)) > 1 {
+		t.Fatalf("m = %d, want ~%v", m, want)
+	}
+}
+
+func TestSFMessageCountScalesWithC1(t *testing.T) {
+	env := sfEnv()
+	m1, err := SFMessageCount(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := SFMessageCount(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(m3)/float64(m1)-3) > 0.01 {
+		t.Fatalf("c1 scaling: %d -> %d", m1, m3)
+	}
+}
+
+func TestSFMessageCountBiasCap(t *testing.T) {
+	// With s² > n, min{s², n} caps the first term at n.
+	env := sfEnv()
+	env.N = 100
+	env.Bias = 50
+	env.Sources = 50
+	if _, err := SFMessageCount(env, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSFMessageCountErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*sim.Env)
+		c1   float64
+	}{
+		{"wrong alphabet", func(e *sim.Env) { e.Alphabet = 4 }, 1},
+		{"delta too high", func(e *sim.Env) { e.Delta = 0.5 }, 1},
+		{"negative delta", func(e *sim.Env) { e.Delta = -0.1 }, 1},
+		{"zero bias", func(e *sim.Env) { e.Bias = 0 }, 1},
+		{"no sources", func(e *sim.Env) { e.Sources = 0 }, 1},
+		{"tiny population", func(e *sim.Env) { e.N = 1 }, 1},
+		{"zero h", func(e *sim.Env) { e.H = 0 }, 1},
+		{"bad c1", func(e *sim.Env) {}, 0},
+		{"overflow", func(e *sim.Env) { e.H = math.MaxInt32 * 1024 }, 1e9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := sfEnv()
+			tc.mut(&env)
+			if _, err := SFMessageCount(env, tc.c1); err == nil {
+				t.Fatalf("accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestSSFMessageCountFormula(t *testing.T) {
+	env := ssfEnv()
+	m, err := SSFMessageCount(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log(1000.0)
+	want := math.Ceil(0.1*1000*logn/(0.36) + 1000)
+	if math.Abs(float64(m)-want) > 1 {
+		t.Fatalf("m = %d, want ~%v", m, want)
+	}
+}
+
+func TestSSFMessageCountIndependentOfBias(t *testing.T) {
+	env := ssfEnv()
+	m1, err := SSFMessageCount(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Bias = 20
+	env.Sources = 40
+	m2, err := SSFMessageCount(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("SSF quota depends on bias: %d vs %d", m1, m2)
+	}
+}
+
+func TestSSFMessageCountErrors(t *testing.T) {
+	env := ssfEnv()
+	env.Alphabet = 2
+	if _, err := SSFMessageCount(env, 1); err == nil {
+		t.Error("accepted alphabet 2")
+	}
+	env = ssfEnv()
+	env.Delta = 0.25
+	if _, err := SSFMessageCount(env, 1); err == nil {
+		t.Error("accepted delta = 1/4")
+	}
+	env = ssfEnv()
+	if _, err := SSFMessageCount(env, -1); err == nil {
+		t.Error("accepted negative c1")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{10, 5, 2}, {11, 5, 3}, {1, 5, 1}, {0, 5, 0}, {5, 1, 5},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMajorityHelper(t *testing.T) {
+	coin0 := func() int { return 0 }
+	coin1 := func() int { return 1 }
+	if majority(3, 2, coin0) != 1 {
+		t.Error("majority(3,2) != 1")
+	}
+	if majority(2, 3, coin1) != 0 {
+		t.Error("majority(2,3) != 0")
+	}
+	if majority(2, 2, coin1) != 1 || majority(2, 2, coin0) != 0 {
+		t.Error("tie does not use coin")
+	}
+}
+
+// TestSFRoundsPositiveProperty: for every valid environment the SF schedule
+// is positive and the listening phases fit within it.
+func TestSFRoundsPositiveProperty(t *testing.T) {
+	f := func(nRaw, hRaw, sRaw uint8, dRaw uint8) bool {
+		env := sim.Env{
+			N:        int(nRaw)%2000 + 10,
+			H:        int(hRaw)%256 + 1,
+			Alphabet: 2,
+			Delta:    float64(dRaw%49) / 100, // [0, 0.48]
+			Sources:  int(sRaw)%3 + 1,
+			Bias:     1,
+		}
+		p := NewSF()
+		total := p.Rounds(env)
+		if total <= 0 {
+			return false
+		}
+		_, phaseT, _, _, err := p.Params(env)
+		if err != nil {
+			return false
+		}
+		return 2*phaseT < total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSFQuotaMonotoneInDelta: noisier channels demand more samples.
+func TestSSFQuotaMonotoneInDelta(t *testing.T) {
+	env := ssfEnv()
+	prev := 0
+	for _, delta := range []float64{0, 0.05, 0.1, 0.15, 0.2, 0.24} {
+		env.Delta = delta
+		m, err := SSFMessageCount(env, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m < prev {
+			t.Fatalf("quota not monotone at delta=%v: %d < %d", delta, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestMemoryBitsShape(t *testing.T) {
+	sf := NewSF()
+	ssf := NewSSF()
+	envSF := sfEnv()
+	envSSF := ssfEnv()
+	sfBits, err := sf.MemoryBits(envSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssfBits, err := ssf.MemoryBits(envSSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sfBits < 10 || sfBits > 200 || ssfBits < 10 || ssfBits > 200 {
+		t.Fatalf("bits out of sane range: SF %d, SSF %d", sfBits, ssfBits)
+	}
+	// The alternating variant needs exactly one extra coin bit.
+	altBits, err := NewSFAlternating().MemoryBits(envSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if altBits != sfBits+1 {
+		t.Fatalf("alternating bits = %d, want %d", altBits, sfBits+1)
+	}
+	// Memory grows logarithmically: squaring n adds only O(1) bits per
+	// counter.
+	envBig := envSF
+	envBig.N = envSF.N * envSF.N
+	bigBits, err := sf.MemoryBits(envBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigBits <= sfBits || bigBits > 3*sfBits {
+		t.Fatalf("n² scaling: %d -> %d bits", sfBits, bigBits)
+	}
+	// Errors propagate.
+	bad := envSF
+	bad.Delta = 0.6
+	if _, err := sf.MemoryBits(bad); err == nil {
+		t.Fatal("invalid env accepted")
+	}
+	bad4 := envSSF
+	bad4.Delta = 0.3
+	if _, err := ssf.MemoryBits(bad4); err == nil {
+		t.Fatal("invalid SSF env accepted")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct{ v, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+	}
+	for _, c := range cases {
+		if got := bitsFor(c.v); got != c.want {
+			t.Errorf("bitsFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package protocol
+
+import (
+	"testing"
+
+	"noisypull/internal/rng"
+	"noisypull/internal/sim"
+)
+
+func newAltAgent(t *testing.T, role sim.Role, env sim.Env, m int) *sfAgent {
+	t.Helper()
+	p := NewSFAlternating(WithSFSampleBudget(m))
+	if err := p.Check(env); err != nil {
+		t.Fatal(err)
+	}
+	return p.NewAgent(0, role, env).(*sfAgent)
+}
+
+func TestNewSFAlternatingSetsVariant(t *testing.T) {
+	if !NewSFAlternating().alternating {
+		t.Fatal("NewSFAlternating did not set the variant")
+	}
+	if NewSF().alternating {
+		t.Fatal("standard SF has the variant set")
+	}
+	// Options compose: the constructor prepends the variant option.
+	p := NewSFAlternating(WithSFConstant(7))
+	if !p.alternating || p.c1 != 7 {
+		t.Fatalf("composed options: %+v", p)
+	}
+}
+
+func TestAlternatingDisplayPattern(t *testing.T) {
+	env := sim.Env{N: 100, H: 5, Alphabet: 2, Delta: 0.1, Sources: 1, Bias: 1}
+	a := newAltAgent(t, sim.Role{}, env, 20) // T = 4: listening window 8 rounds
+	r := rng.New(3)
+	a.SeedInit(r)
+	first := a.Display()
+	counts := []int{3, 2}
+	for round := 0; round < 8; round++ {
+		want := (first + round) % 2
+		if got := a.Display(); got != want {
+			t.Fatalf("round %d: displayed %d, want %d", round, got, want)
+		}
+		a.Observe(counts, r)
+	}
+	// After the window the agent displays its opinion like standard SF.
+	if a.Display() != a.Opinion() {
+		t.Fatal("post-window display is not the opinion")
+	}
+}
+
+func TestAlternatingSourceStillDisplaysPreference(t *testing.T) {
+	env := sim.Env{N: 100, H: 5, Alphabet: 2, Delta: 0.1, Sources: 1, Bias: 1}
+	a := newAltAgent(t, sim.Role{IsSource: true, Preference: 1}, env, 20)
+	r := rng.New(4)
+	a.SeedInit(r)
+	for round := 0; round < 8; round++ {
+		if a.Display() != 1 {
+			t.Fatalf("source displayed %d during listening", a.Display())
+		}
+		a.Observe([]int{2, 3}, r)
+	}
+}
+
+func TestAlternatingCountsBothSymbols(t *testing.T) {
+	env := sim.Env{N: 100, H: 5, Alphabet: 2, Delta: 0.1, Sources: 1, Bias: 1}
+	a := newAltAgent(t, sim.Role{}, env, 10) // T = 2: window 4 rounds
+	r := rng.New(5)
+	a.SeedInit(r)
+	// Feed 1-heavy traffic for the whole window.
+	for round := 0; round < 4; round++ {
+		a.Observe([]int{1, 4}, r)
+	}
+	if a.counter1 != 16 || a.counter0 != 4 {
+		t.Fatalf("counters = (%d, %d), want (16, 4)", a.counter1, a.counter0)
+	}
+	if a.WeakOpinion() != 1 {
+		t.Fatalf("weak opinion = %d", a.WeakOpinion())
+	}
+}
+
+func TestAlternatingFirstSymbolBalanced(t *testing.T) {
+	env := sim.Env{N: 100, H: 5, Alphabet: 2, Delta: 0.1, Sources: 1, Bias: 1}
+	ones := 0
+	const trials = 400
+	for seed := 0; seed < trials; seed++ {
+		a := newAltAgent(t, sim.Role{}, env, 10)
+		a.SeedInit(rng.New(uint64(seed)))
+		ones += a.firstSym
+	}
+	if ones < 150 || ones > 250 {
+		t.Fatalf("first symbols: %d/%d ones; coin appears biased", ones, trials)
+	}
+}
+
+func TestAlternatingSeedInitNoopForStandard(t *testing.T) {
+	env := sim.Env{N: 100, H: 5, Alphabet: 2, Delta: 0.1, Sources: 1, Bias: 1}
+	a := newSFAgent(t, sim.Role{}, env, 10)
+	before := *a
+	a.SeedInit(rng.New(1))
+	if *a != before {
+		t.Fatal("SeedInit mutated a standard-SF agent")
+	}
+}

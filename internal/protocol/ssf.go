@@ -1,0 +1,187 @@
+package protocol
+
+import (
+	"fmt"
+
+	"noisypull/internal/rng"
+	"noisypull/internal/sim"
+)
+
+// SSF symbol encoding: each message is a pair (sourceBit, valueBit) from
+// Σ = {0,1}², packed as symbol = 2·sourceBit + valueBit. For sources the
+// value bit is their preference; for non-sources it is their weak opinion.
+const (
+	ssfSym00 = 0 // (0,0): non-source with weak opinion 0
+	ssfSym01 = 1 // (0,1): non-source with weak opinion 1
+	ssfSym10 = 2 // (1,0): source preferring 0
+	ssfSym11 = 3 // (1,1): source preferring 1
+)
+
+// SSF is the Self-stabilizing Source Filter protocol (Algorithm 2,
+// Theorem 5).
+//
+// Every round an agent adds its h observations to a memory multiset M
+// (represented as per-symbol counts: the algorithm only ever takes
+// majorities, so counts are sufficient state). Whenever |M| reaches m, the
+// agent updates
+//
+//   - its weak opinion Ŷ to the majority of value bits among messages whose
+//     source bit is 1 (ties broken by coin), and
+//   - its opinion Y to the majority of value bits over all of M (ties by
+//     coin),
+//
+// and empties M. Sources display (1, preference); non-sources display
+// (0, Ŷ). The protocol runs forever and tolerates arbitrary corruption of
+// memory, opinions, and clocks: after at most two updates, all state derives
+// from genuinely sampled messages.
+type SSF struct {
+	c1        float64
+	mOverride int
+}
+
+// SSFOption customizes SSF.
+type SSFOption func(*SSF)
+
+// WithSSFConstant sets the constant c1 of Eq. (30).
+func WithSSFConstant(c1 float64) SSFOption {
+	return func(p *SSF) { p.c1 = c1 }
+}
+
+// WithSSFUpdateQuota overrides the update quota m directly, bypassing
+// Eq. (30).
+func WithSSFUpdateQuota(m int) SSFOption {
+	return func(p *SSF) { p.mOverride = m }
+}
+
+// NewSSF returns an SSF protocol with the paper's defaults.
+func NewSSF(opts ...SSFOption) *SSF {
+	p := &SSF{c1: DefaultC1}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Alphabet returns 4: SSF communicates with Σ = {0,1}².
+func (p *SSF) Alphabet() int { return 4 }
+
+// Check reports whether SSF is applicable in env (alphabet 4, δ < 1/4).
+func (p *SSF) Check(env sim.Env) error {
+	_, err := p.quota(env)
+	return err
+}
+
+// UpdateQuota reports the memory quota m used in env.
+func (p *SSF) UpdateQuota(env sim.Env) (int, error) {
+	return p.quota(env)
+}
+
+func (p *SSF) quota(env sim.Env) (int, error) {
+	if p.mOverride > 0 {
+		if err := checkSSFEnv(env); err != nil {
+			return 0, err
+		}
+		return p.mOverride, nil
+	}
+	return SSFMessageCount(env, p.c1)
+}
+
+// ConvergenceRounds returns the number of rounds after which Theorem 5
+// guarantees consensus: 3·⌈m/h⌉ (two updates to flush adversarial state and
+// establish independent weak opinions, one more for opinions; Lemmas 36–39).
+// Useful for sizing MaxRounds in experiments.
+func (p *SSF) ConvergenceRounds(env sim.Env) (int, error) {
+	m, err := p.quota(env)
+	if err != nil {
+		return 0, err
+	}
+	return 3 * ceilDiv(m, env.H), nil
+}
+
+// NewAgent implements sim.Protocol.
+func (p *SSF) NewAgent(id int, role sim.Role, env sim.Env) sim.Agent {
+	m, err := p.quota(env)
+	if err != nil {
+		panic(fmt.Sprintf("protocol: SSF.NewAgent with invalid env: %v", err))
+	}
+	a := &ssfAgent{role: role, m: m}
+	if role.IsSource {
+		a.opinion = role.Preference
+		a.weakOpinion = role.Preference
+	}
+	return a
+}
+
+// ssfAgent is one agent running Algorithm 2.
+type ssfAgent struct {
+	role sim.Role
+	m    int
+
+	memory [4]int // per-symbol message counts of the multiset M
+	total  int    // |M|
+
+	weakOpinion int
+	opinion     int
+}
+
+// Display implements sim.Agent: sources show (1, preference), non-sources
+// show (0, weak opinion).
+func (a *ssfAgent) Display() int {
+	if a.role.IsSource {
+		return ssfSym10 + a.role.Preference
+	}
+	return ssfSym00 + a.weakOpinion
+}
+
+// Observe implements sim.Agent.
+func (a *ssfAgent) Observe(counts []int, r *rng.Stream) {
+	for s, c := range counts {
+		a.memory[s] += c
+		a.total += c
+	}
+	if a.total < a.m {
+		return
+	}
+	// Update round: recompute weak opinion from source-tagged messages and
+	// opinion from all value bits, then empty the memory.
+	a.weakOpinion = majority(a.memory[ssfSym11], a.memory[ssfSym10], r.Coin)
+	ones := a.memory[ssfSym01] + a.memory[ssfSym11]
+	zeros := a.memory[ssfSym00] + a.memory[ssfSym10]
+	a.opinion = majority(ones, zeros, r.Coin)
+	a.memory = [4]int{}
+	a.total = 0
+}
+
+// Opinion implements sim.Agent.
+func (a *ssfAgent) Opinion() int { return a.opinion }
+
+// WeakOpinion exposes Ŷ for analysis of Lemma 36.
+func (a *ssfAgent) WeakOpinion() int { return a.weakOpinion }
+
+// Corrupt implements sim.Corruptible: the adversary of Section 1.3 sets the
+// memory multiset, opinions, and effective clock arbitrarily (source status
+// and m remain intact).
+func (a *ssfAgent) Corrupt(mode sim.CorruptionMode, wrongOpinion int, r *rng.Stream) {
+	switch mode {
+	case sim.CorruptWrongConsensus:
+		// Memory stuffed with fake source messages for the wrong opinion
+		// plus matching weak opinions, filled to a random level so update
+		// rounds desynchronize across agents.
+		a.weakOpinion = wrongOpinion
+		a.opinion = wrongOpinion
+		fill := r.Intn(a.m)
+		fake := [4]int{}
+		fake[ssfSym10+wrongOpinion] = fill / 2
+		fake[ssfSym00+wrongOpinion] = fill - fill/2
+		a.memory = fake
+		a.total = fill
+	case sim.CorruptRandom:
+		a.weakOpinion = r.Coin()
+		a.opinion = r.Coin()
+		a.total = 0
+		for s := range a.memory {
+			a.memory[s] = r.Intn(a.m/4 + 1)
+			a.total += a.memory[s]
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package protocol
+
+import (
+	"testing"
+
+	"noisypull/internal/rng"
+	"noisypull/internal/sim"
+)
+
+func newSSFAgent(t *testing.T, role sim.Role, env sim.Env, m int) *ssfAgent {
+	t.Helper()
+	p := NewSSF(WithSSFUpdateQuota(m))
+	if err := p.Check(env); err != nil {
+		t.Fatal(err)
+	}
+	return p.NewAgent(0, role, env).(*ssfAgent)
+}
+
+func TestSSFOptions(t *testing.T) {
+	p := NewSSF(WithSSFConstant(9))
+	if p.c1 != 9 {
+		t.Fatalf("c1 = %v", p.c1)
+	}
+	if NewSSF().c1 != DefaultC1 {
+		t.Fatal("default c1 not applied")
+	}
+	p = NewSSF(WithSSFUpdateQuota(123))
+	m, err := p.UpdateQuota(ssfEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 123 {
+		t.Fatalf("quota override = %d", m)
+	}
+}
+
+func TestSSFAlphabet(t *testing.T) {
+	if NewSSF().Alphabet() != 4 {
+		t.Fatal("SSF alphabet != 4")
+	}
+}
+
+func TestSSFCheckRejects(t *testing.T) {
+	env := ssfEnv()
+	env.Delta = 0.3
+	if err := NewSSF().Check(env); err == nil {
+		t.Error("Check accepted delta 0.3")
+	}
+	env = ssfEnv()
+	env.Alphabet = 2
+	if err := NewSSF().Check(env); err == nil {
+		t.Error("Check accepted alphabet 2")
+	}
+}
+
+func TestSSFConvergenceRounds(t *testing.T) {
+	env := ssfEnv()
+	p := NewSSF(WithSSFUpdateQuota(100))
+	got, err := p.ConvergenceRounds(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3*10 { // 3 * ceil(100/10)
+		t.Fatalf("ConvergenceRounds = %d", got)
+	}
+}
+
+func TestSSFNewAgentPanicsOnInvalidEnv(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAgent with invalid env did not panic")
+		}
+	}()
+	env := ssfEnv()
+	env.Delta = 0.3
+	NewSSF().NewAgent(0, sim.Role{}, env)
+}
+
+func TestSSFDisplayEncoding(t *testing.T) {
+	env := ssfEnv()
+	s1 := newSSFAgent(t, sim.Role{IsSource: true, Preference: 1}, env, 10)
+	s0 := newSSFAgent(t, sim.Role{IsSource: true, Preference: 0}, env, 10)
+	ns := newSSFAgent(t, sim.Role{}, env, 10)
+	if s1.Display() != ssfSym11 {
+		t.Fatalf("1-source displays %d", s1.Display())
+	}
+	if s0.Display() != ssfSym10 {
+		t.Fatalf("0-source displays %d", s0.Display())
+	}
+	if ns.Display() != ssfSym00 {
+		t.Fatalf("fresh non-source displays %d", ns.Display())
+	}
+	ns.weakOpinion = 1
+	if ns.Display() != ssfSym01 {
+		t.Fatalf("weak-1 non-source displays %d", ns.Display())
+	}
+}
+
+func TestSSFUpdateTriggersAtQuota(t *testing.T) {
+	env := ssfEnv()
+	r := rng.New(1)
+	a := newSSFAgent(t, sim.Role{}, env, 20)
+
+	// 19 messages: below quota, no update, memory accumulates.
+	a.Observe([]int{0, 0, 4, 15}, r)
+	if a.total != 19 {
+		t.Fatalf("total = %d", a.total)
+	}
+	if a.weakOpinion != 0 {
+		t.Fatal("weak opinion updated below quota")
+	}
+	// One more crosses the quota: weak opinion from (1,1) vs (1,0) counts —
+	// 16 vs 4 -> 1; opinion from value bits — 16 ones vs 4 zeros -> 1.
+	a.Observe([]int{0, 0, 0, 1}, r)
+	if a.weakOpinion != 1 || a.opinion != 1 {
+		t.Fatalf("after update: weak = %d, opinion = %d", a.weakOpinion, a.opinion)
+	}
+	if a.total != 0 || a.memory != [4]int{} {
+		t.Fatalf("memory not emptied: %v, total %d", a.memory, a.total)
+	}
+}
+
+func TestSSFWeakOpinionIgnoresUntaggedMessages(t *testing.T) {
+	env := ssfEnv()
+	r := rng.New(2)
+	a := newSSFAgent(t, sim.Role{}, env, 10)
+	// All messages untagged (first bit 0), heavily value-1: weak opinion is
+	// a pure coin toss over zero counts... majority(0, 0) -> coin; opinion
+	// follows value bits -> 1.
+	a.Observe([]int{1, 9, 0, 0}, r)
+	if a.opinion != 1 {
+		t.Fatalf("opinion = %d", a.opinion)
+	}
+	// Weak opinion came from a tie over zero tagged messages: either value
+	// is possible; just confirm the update consumed the memory.
+	if a.total != 0 {
+		t.Fatal("memory not consumed")
+	}
+}
+
+func TestSSFOpinionMajorityOverAllValueBits(t *testing.T) {
+	env := ssfEnv()
+	r := rng.New(3)
+	a := newSSFAgent(t, sim.Role{}, env, 12)
+	// Tagged messages lean 1 (3 vs 1) but untagged value bits lean 0
+	// (6 zeros vs 2 ones): weak opinion 1, opinion 0 (7 zeros vs 5 ones).
+	a.Observe([]int{6, 2, 1, 3}, r)
+	if a.weakOpinion != 1 {
+		t.Fatalf("weak opinion = %d, want 1", a.weakOpinion)
+	}
+	if a.opinion != 0 {
+		t.Fatalf("opinion = %d, want 0", a.opinion)
+	}
+}
+
+func TestSSFSourceDisplayUnaffectedByState(t *testing.T) {
+	env := ssfEnv()
+	r := rng.New(4)
+	a := newSSFAgent(t, sim.Role{IsSource: true, Preference: 0}, env, 8)
+	// Flood with 1-leaning messages; the source's display must stay (1,0)
+	// even though its internal opinion converges to 1.
+	a.Observe([]int{0, 0, 0, 8}, r)
+	if a.Display() != ssfSym10 {
+		t.Fatalf("source display = %d", a.Display())
+	}
+	if a.Opinion() != 1 {
+		t.Fatalf("source opinion = %d; wrong-preference sources must adopt the majority", a.Opinion())
+	}
+}
+
+func TestSSFCorruption(t *testing.T) {
+	env := ssfEnv()
+	r := rng.New(5)
+	a := newSSFAgent(t, sim.Role{}, env, 50)
+	a.Corrupt(sim.CorruptWrongConsensus, 0, r)
+	if a.opinion != 0 || a.weakOpinion != 0 {
+		t.Fatal("wrong-consensus corruption did not set opinions")
+	}
+	if a.total >= 50 {
+		t.Fatalf("corrupted memory size %d >= m", a.total)
+	}
+	sum := a.memory[0] + a.memory[1] + a.memory[2] + a.memory[3]
+	if sum != a.total {
+		t.Fatalf("memory counts %v inconsistent with total %d", a.memory, a.total)
+	}
+	if a.memory[ssfSym01] != 0 || a.memory[ssfSym11] != 0 {
+		t.Fatal("wrong-consensus corruption injected correct-opinion messages")
+	}
+
+	b := newSSFAgent(t, sim.Role{}, env, 50)
+	b.Corrupt(sim.CorruptRandom, 0, r)
+	sum = b.memory[0] + b.memory[1] + b.memory[2] + b.memory[3]
+	if sum != b.total {
+		t.Fatalf("random corruption inconsistent: %v vs %d", b.memory, b.total)
+	}
+}
+
+func TestSSFSelfStabilizesAfterCorruption(t *testing.T) {
+	// Unit-level stabilization: a corrupted agent that only ever receives
+	// genuine messages is fully governed by them after two updates.
+	env := ssfEnv()
+	r := rng.New(6)
+	a := newSSFAgent(t, sim.Role{}, env, 10)
+	a.Corrupt(sim.CorruptWrongConsensus, 0, r)
+	// Feed genuine 1-source-heavy traffic.
+	for i := 0; i < 4; i++ {
+		a.Observe([]int{0, 0, 0, 5}, r)
+	}
+	if a.opinion != 1 || a.weakOpinion != 1 {
+		t.Fatalf("agent did not recover: opinion %d weak %d", a.opinion, a.weakOpinion)
+	}
+}

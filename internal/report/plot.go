@@ -1,0 +1,189 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is a named sequence of (x, y) points — the unit the harness uses
+// to regenerate a figure curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// NewSeries builds a series, panicking on length mismatch (a programming
+// error in experiment code).
+func NewSeries(name string, x, y []float64) Series {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("report: series %q has %d x and %d y values", name, len(x), len(y)))
+	}
+	return Series{Name: name, X: x, Y: y}
+}
+
+// Plot is an ASCII line plot of one or more series on shared axes. Marks
+// cycle through per-series glyphs; axis ranges are computed from the data.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 20)
+	LogX   bool
+	LogY   bool
+	series []Series
+}
+
+// Add appends a series to the plot.
+func (p *Plot) Add(s Series) { p.series = append(p.series, s) }
+
+var plotGlyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// WriteTo renders the plot. It implements io.WriterTo.
+func (p *Plot) WriteTo(w io.Writer) (int64, error) {
+	width := p.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := p.Height
+	if height <= 0 {
+		height = 20
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if p.LogX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if p.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	points := 0
+	for _, s := range p.series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if points == 0 {
+		n, err := io.WriteString(w, p.Title+"\n(no finite data)\n")
+		return int64(n), err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+			grid[row][col] = glyph
+		}
+	}
+
+	var sb strings.Builder
+	if p.Title != "" {
+		sb.WriteString(p.Title + "\n")
+	}
+	yTop := formatAxis(minY, maxY, p.LogY, true)
+	yBot := formatAxis(minY, maxY, p.LogY, false)
+	labelWidth := len(yTop)
+	if len(yBot) > labelWidth {
+		labelWidth = len(yBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = pad(yTop, labelWidth)
+		case height - 1:
+			label = pad(yBot, labelWidth)
+		}
+		sb.WriteString(label + " |" + string(row) + "\n")
+	}
+	sb.WriteString(strings.Repeat(" ", labelWidth) + " +" + strings.Repeat("-", width) + "\n")
+	xBot := formatAxis(minX, maxX, p.LogX, false)
+	xTop := formatAxis(minX, maxX, p.LogX, true)
+	gap := width - len(xBot) - len(xTop)
+	if gap < 1 {
+		gap = 1
+	}
+	sb.WriteString(strings.Repeat(" ", labelWidth+2) + xBot + strings.Repeat(" ", gap) + xTop + "\n")
+	if p.XLabel != "" || p.YLabel != "" {
+		sb.WriteString(fmt.Sprintf("%sx: %s   y: %s\n", strings.Repeat(" ", labelWidth+2), p.XLabel, p.YLabel))
+	}
+	for si, s := range p.series {
+		sb.WriteString(fmt.Sprintf("%s%c %s\n", strings.Repeat(" ", labelWidth+2), plotGlyphs[si%len(plotGlyphs)], s.Name))
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the plot to a string.
+func (p *Plot) String() string {
+	var sb strings.Builder
+	if _, err := p.WriteTo(&sb); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// formatAxis renders an axis endpoint; log axes show the de-logged value.
+func formatAxis(min, max float64, logScale, top bool) string {
+	v := min
+	if top {
+		v = max
+	}
+	if logScale {
+		v = math.Pow(10, v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// WriteSeriesCSV writes one or more series as long-form CSV with columns
+// series,x,y.
+func WriteSeriesCSV(w io.Writer, series ...Series) error {
+	if _, err := io.WriteString(w, "series,x,y\n"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

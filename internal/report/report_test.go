@@ -1,0 +1,128 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta", 2.5)
+	tb.AddRow("gamma", "x")
+	if tb.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "value", "alpha", "2.5", "gamma", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowCopy(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("v")
+	row := tb.Row(0)
+	row[0] = "mutated"
+	if tb.Row(0)[0] != "v" {
+		t.Fatal("Row did not copy")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(3.14159265)
+	if got := tb.Row(0)[0]; got != "3.142" {
+		t.Fatalf("float cell = %q", got)
+	}
+	tb.AddRow(float32(2))
+	if got := tb.Row(1)[0]; got != "2" {
+		t.Fatalf("float32 cell = %q", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("plain", `has "quotes", and comma`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("CSV header wrong: %q", got)
+	}
+	if !strings.Contains(got, `"has ""quotes"", and comma"`) {
+		t.Fatalf("CSV quoting wrong: %q", got)
+	}
+}
+
+func TestNewSeriesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series did not panic")
+		}
+	}()
+	NewSeries("bad", []float64{1, 2}, []float64{1})
+}
+
+func TestPlotRendering(t *testing.T) {
+	p := &Plot{Title: "Growth", XLabel: "n", YLabel: "rounds", Width: 40, Height: 10}
+	p.Add(NewSeries("linear", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}))
+	p.Add(NewSeries("quadratic", []float64{1, 2, 3, 4}, []float64{1, 4, 9, 16}))
+	out := p.String()
+	for _, want := range []string{"Growth", "linear", "quadratic", "*", "+", "x: n", "y: rounds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotLogAxes(t *testing.T) {
+	p := &Plot{Title: "loglog", LogX: true, LogY: true, Width: 30, Height: 8}
+	p.Add(NewSeries("pow", []float64{1, 10, 100, 1000}, []float64{2, 20, 200, 2000}))
+	out := p.String()
+	if !strings.Contains(out, "1000") {
+		t.Fatalf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestPlotEmptyData(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	out := p.String()
+	if !strings.Contains(out, "no finite data") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := &Plot{Width: 20, Height: 5}
+	p.Add(NewSeries("const", []float64{1, 1, 1}, []float64{5, 5, 5}))
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteSeriesCSV(&sb,
+		NewSeries("a", []float64{1, 2}, []float64{3, 4}),
+		NewSeries("b", []float64{5}, []float64{6}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "series,x,y\na,1,3\na,2,4\nb,5,6\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,350 @@
+// Package rng provides the deterministic random-number substrate used by the
+// noisy PULL simulator and the experiment harness.
+//
+// Everything in the simulation must be reproducible from a single 64-bit
+// seed, independent of scheduling: each agent owns a Stream derived from
+// (seed, agent id), so stepping agents on a worker pool yields bit-identical
+// traces regardless of GOMAXPROCS.
+//
+// The package implements
+//
+//   - splitmix64, used only to expand seeds,
+//   - xoshiro256++ streams (Stream),
+//   - exact Bernoulli, binomial (inversion + BTRS transformed rejection),
+//     multinomial and categorical (alias method) samplers, and
+//   - permutation helpers.
+//
+// The binomial and multinomial samplers are what make the aggregate
+// observation backend of package sim exact: an agent's h uniform-with-
+// replacement samples, pushed through the noise channel, are distributed as
+// a pair of nested multinomials (see sim and noise).
+package rng
+
+import "math"
+
+// SplitMix64 returns the next value of the splitmix64 sequence for the given
+// state, and the advanced state. It is used to expand user seeds into
+// xoshiro256++ state and to derive independent sub-streams.
+func SplitMix64(state uint64) (value, next uint64) {
+	next = state + 0x9e3779b97f4a7c15
+	z := next
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31), next
+}
+
+// Stream is a xoshiro256++ pseudo-random generator. The zero value is not
+// usable; construct streams with New or Derive. Stream is not safe for
+// concurrent use: give each goroutine (each simulated agent) its own stream.
+type Stream struct {
+	s [4]uint64
+}
+
+// New returns a Stream seeded from seed via splitmix64, per the xoshiro
+// authors' recommendation.
+func New(seed uint64) *Stream {
+	var st Stream
+	st.Reseed(seed)
+	return &st
+}
+
+// Derive returns a Stream for sub-stream id of seed. Streams derived from
+// the same seed with distinct ids are statistically independent: the seed
+// material is passed through two rounds of splitmix64 mixing so that
+// adjacent ids do not produce correlated states.
+func Derive(seed, id uint64) *Stream {
+	v1, _ := SplitMix64(seed ^ 0x8f1bbcdcbfa53e0b)
+	v2, _ := SplitMix64(id ^ 0x2545f4914f6cdd1d)
+	return New(v1 ^ (v2 * 0xd6e8feb86659fd93))
+}
+
+// Reseed resets the stream state from seed.
+func (r *Stream) Reseed(seed uint64) {
+	state := seed
+	for i := range r.s {
+		r.s[i], state = SplitMix64(state)
+	}
+	// xoshiro256++ requires a state that is not all zero; splitmix64 output
+	// is all-zero only with negligible probability, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// It uses Lemire's multiply-shift method with rejection, so the result is
+// exactly uniform.
+func (r *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	x := r.Uint64()
+	hi, lo := mul64(x, n)
+	if lo < n {
+		thresh := (-n) % n
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = mul64(x, n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1] are
+// clamped.
+func (r *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Coin returns 0 or 1 with equal probability. It is the tie-breaking coin
+// the paper's protocols use.
+func (r *Stream) Coin() int {
+	return int(r.Uint64() >> 63)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function (Fisher–Yates).
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// btrsThreshold is the mean above which the binomial sampler switches from
+// sequential inversion to BTRS rejection. Inversion costs O(np); BTRS is
+// O(1) but only valid for np >= 10.
+const btrsThreshold = 30
+
+// Binomial returns an exact sample from Binomial(n, p).
+// It panics if n < 0; p is clamped to [0, 1].
+func (r *Stream) Binomial(n int, p float64) int {
+	if n < 0 {
+		panic("rng: Binomial with n < 0")
+	}
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if float64(n)*p < btrsThreshold {
+		return r.binomialInversion(n, p)
+	}
+	return r.binomialBTRS(n, p)
+}
+
+// binomialInversion samples Binomial(n, p) by sequential search of the CDF
+// starting from k = 0. Requires p <= 0.5 and np small enough that (1-p)^n
+// does not underflow (guaranteed by btrsThreshold: (1-p)^n >= e^{-2np}).
+func (r *Stream) binomialInversion(n int, p float64) int {
+	q := 1 - p
+	s := p / q
+	f := math.Pow(q, float64(n)) // P(X = 0)
+	u := r.Float64()
+	k := 0
+	for u > f && k < n {
+		u -= f
+		k++
+		f *= s * float64(n-k+1) / float64(k)
+	}
+	return k
+}
+
+// binomialBTRS samples Binomial(n, p) using Hörmann's BTRS transformed
+// rejection algorithm (W. Hörmann, "The generation of binomial random
+// variates", J. Stat. Comput. Simul. 46, 1993). Requires p <= 0.5 and
+// np >= 10. The algorithm is exact: candidates are accepted against the
+// true binomial PMF via log-gamma.
+func (r *Stream) binomialBTRS(n int, p float64) int {
+	fn := float64(n)
+	spq := math.Sqrt(fn * p * (1 - p))
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := fn*p + 0.5
+	vr := 0.92 - 4.2/b
+
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / (1 - p))
+	m := math.Floor((fn + 1) * p) // mode
+	hm, _ := math.Lgamma(m + 1)
+	hnm, _ := math.Lgamma(fn - m + 1)
+	h := hm + hnm
+
+	for {
+		v := r.Float64()
+		if v <= 0.86*vr {
+			// Squeeze acceptance: the bulk of the mass needs no PMF
+			// evaluation.
+			u := v/vr - 0.43
+			return int(math.Floor((2*a/(0.5-math.Abs(u))+b)*u + c))
+		}
+		var u float64
+		if v >= vr {
+			u = r.Float64() - 0.5
+		} else {
+			u = v/vr - 0.93
+			u = math.Copysign(0.5, u) - u
+			v = vr * r.Float64()
+		}
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if k < 0 || k > fn {
+			continue
+		}
+		v = v * alpha / (a/(us*us) + b)
+		lk, _ := math.Lgamma(k + 1)
+		lnk, _ := math.Lgamma(fn - k + 1)
+		if math.Log(v) <= h-lk-lnk+(k-m)*lpq {
+			return int(k)
+		}
+	}
+}
+
+// Multinomial draws counts from Multinomial(n, probs), writing the result
+// into out (which must have len(probs) entries). The probabilities need not
+// be normalized; they must be non-negative with a positive sum. It uses the
+// standard conditional-binomial decomposition, so each draw costs
+// O(len(probs)) binomial samples.
+func (r *Stream) Multinomial(n int, probs []float64, out []int) {
+	if len(out) != len(probs) {
+		panic("rng: Multinomial output length mismatch")
+	}
+	var total float64
+	for _, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			panic("rng: Multinomial with negative or NaN probability")
+		}
+		total += p
+	}
+	if total <= 0 {
+		panic("rng: Multinomial with zero total probability")
+	}
+	remaining := n
+	rest := total
+	for i := range probs {
+		if remaining == 0 {
+			out[i] = 0
+			continue
+		}
+		if i == len(probs)-1 {
+			out[i] = remaining
+			break
+		}
+		pi := probs[i] / rest
+		if pi > 1 {
+			pi = 1
+		}
+		k := r.Binomial(remaining, pi)
+		out[i] = k
+		remaining -= k
+		rest -= probs[i]
+		if rest <= 0 {
+			// Numerical exhaustion: all residual mass was in probs[i].
+			for j := i + 1; j < len(probs); j++ {
+				out[j] = 0
+			}
+			if remaining > 0 {
+				out[i] += remaining
+			}
+			return
+		}
+	}
+}
+
+// jumpPoly is the xoshiro256++ jump polynomial: Jump advances the stream
+// by 2^128 steps, partitioning the period into non-overlapping blocks.
+var jumpPoly = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+
+// longJumpPoly advances by 2^192 steps.
+var longJumpPoly = [4]uint64{0x76e15d3efefdcbbf, 0xc5004e441c522fb3, 0x77710069854ee241, 0x39109bb02acbe635}
+
+// Jump advances the stream by 2^128 positions — equivalent to 2^128 calls
+// to Uint64. Jumping k times from a common seed yields k non-overlapping
+// sub-sequences, an alternative to Derive when provable disjointness is
+// wanted.
+func (r *Stream) Jump() { r.applyJump(jumpPoly) }
+
+// LongJump advances the stream by 2^192 positions, for partitioning among
+// coarse-grained computations each of which uses Jump internally.
+func (r *Stream) LongJump() { r.applyJump(longJumpPoly) }
+
+func (r *Stream) applyJump(poly [4]uint64) {
+	var s0, s1, s2, s3 uint64
+	for _, p := range poly {
+		for b := 0; b < 64; b++ {
+			if p&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+
+	"noisypull/internal/noise"
+	"noisypull/internal/rng"
+)
+
+// AsyncRunner executes a simulation under an asynchronous activation
+// schedule instead of synchronous rounds: at every step one uniformly
+// random agent activates, observes h noisy samples of the population's
+// *current* displays, and updates. Time is reported in parallel rounds
+// (n activations = 1 round), making results comparable with Runner.
+//
+// This scheduler removes the simultaneous wake-up assumption entirely —
+// agents' internal schedules advance at independent random rates. SSF
+// (whose guarantees never reference a global clock) is expected to keep
+// working; SF's phase structure relies on synchronized rounds, so it is
+// expected to break. Experiment E17 measures exactly this contrast.
+//
+// Finite protocols are run for MaxRounds with the usual stability-window
+// semantics rather than their synchronous schedule, since a global
+// schedule has no meaning here.
+type AsyncRunner struct {
+	cfg     Config
+	env     Env
+	agents  []Agent
+	streams []*rng.Stream
+	sched   *rng.Stream
+	channel *noise.Channel
+	artif   *noise.Channel
+	backend Backend
+
+	displays []int
+	counts   []int
+	probs    []float64
+	correct  int // number of agents currently holding the correct opinion
+}
+
+// NewAsync validates cfg and instantiates the asynchronous simulation.
+// Workers is ignored: asynchronous activation is inherently sequential.
+func NewAsync(cfg Config) (*AsyncRunner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	backend := cfg.Backend
+	if backend == BackendAuto {
+		if cfg.H <= autoExactLimit || cfg.Topology != nil {
+			backend = BackendExact
+		} else {
+			backend = BackendAggregate
+		}
+	}
+	ch, err := noise.NewChannel(cfg.Noise)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building noise channel: %w", err)
+	}
+	var art *noise.Channel
+	if cfg.Artificial != nil {
+		art, err = noise.NewChannel(cfg.Artificial)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building artificial channel: %w", err)
+		}
+	}
+
+	env := cfg.Env()
+	r := &AsyncRunner{
+		cfg:     cfg,
+		env:     env,
+		agents:  make([]Agent, cfg.N),
+		streams: make([]*rng.Stream, cfg.N),
+		sched:   rng.Derive(cfg.Seed, ^uint64(0)),
+		channel: ch,
+		artif:   art,
+		backend: backend,
+		counts:  make([]int, env.Alphabet),
+		probs:   make([]float64, env.Alphabet),
+	}
+
+	correctOp := cfg.CorrectOpinion()
+	wrong := 1 - correctOp
+	for i := 0; i < cfg.N; i++ {
+		role := roleOf(i, cfg.Sources1, cfg.Sources0)
+		r.streams[i] = rng.Derive(cfg.Seed, uint64(i))
+		r.agents[i] = cfg.Protocol.NewAgent(i, role, env)
+		if s, ok := r.agents[i].(Seeder); ok {
+			s.SeedInit(r.streams[i])
+		}
+		if cfg.Corruption != CorruptNone {
+			if c, ok := r.agents[i].(Corruptible); ok {
+				c.Corrupt(cfg.Corruption, wrong, r.streams[i])
+			}
+		}
+	}
+	// Initial display and opinion state.
+	r.displays = make([]int, cfg.N)
+	for i, a := range r.agents {
+		s := a.Display()
+		if s < 0 || s >= env.Alphabet {
+			return nil, fmt.Errorf("sim: agent %d displays symbol %d outside alphabet %d", i, s, env.Alphabet)
+		}
+		r.displays[i] = s
+		r.counts[s]++
+		if a.Opinion() == correctOp {
+			r.correct++
+		}
+	}
+	return r, nil
+}
+
+// Agents exposes the instantiated agents.
+func (r *AsyncRunner) Agents() []Agent { return r.agents }
+
+// Env returns the agents' environment.
+func (r *AsyncRunner) Env() Env { return r.env }
+
+// Run executes activations until the population has been all-correct for
+// StabilityWindow consecutive parallel rounds or MaxRounds parallel rounds
+// elapse.
+func (r *AsyncRunner) Run() (*Result, error) {
+	cfg := &r.cfg
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = defaultMaxRounds(cfg.N)
+	}
+	window := cfg.StabilityWindow
+	if window == 0 {
+		window = 1
+	}
+	correctOp := cfg.CorrectOpinion()
+	res := &Result{CorrectOpinion: correctOp}
+	if cfg.TrackHistory {
+		capRounds := maxRounds
+		if capRounds > 1<<20 {
+			capRounds = 1 << 20
+		}
+		res.History = make([]int, 0, capRounds)
+	}
+
+	n := cfg.N
+	sampled := make([]int, r.env.Alphabet)
+	inter := make([]int, r.env.Alphabet)
+	observed := make([]int, r.env.Alphabet)
+
+	stable := 0
+	for round := 1; round <= maxRounds; round++ {
+		for step := 0; step < n; step++ {
+			r.activate(r.sched.Intn(n), sampled, inter, observed, correctOp)
+		}
+		res.Rounds = round
+		res.FinalCorrect = r.correct
+		if cfg.TrackHistory {
+			res.History = append(res.History, r.correct)
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(round, r.correct)
+		}
+		allCorrect := r.correct == n
+		if allCorrect && res.FirstAllCorrect == 0 {
+			res.FirstAllCorrect = round
+		}
+		if allCorrect {
+			stable++
+		} else {
+			stable = 0
+			res.FirstAllCorrect = 0
+		}
+		if stable >= window {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// activate performs one asynchronous activation of agent i.
+func (r *AsyncRunner) activate(i int, sampled, inter, observed []int, correctOp int) {
+	stream := r.streams[i]
+	h := r.cfg.H
+	for j := range observed {
+		observed[j] = 0
+	}
+	switch r.backend {
+	case BackendExact:
+		n := r.cfg.N
+		var neighbors []int32
+		if r.cfg.Topology != nil {
+			neighbors = r.cfg.Topology.Neighbors(i)
+		}
+		for s := 0; s < h; s++ {
+			var sigma int
+			if neighbors != nil {
+				sigma = r.displays[neighbors[stream.Intn(len(neighbors))]]
+			} else {
+				sigma = r.displays[stream.Intn(n)]
+			}
+
+			o := r.channel.Apply(stream, sigma)
+			if r.artif != nil {
+				o = r.artif.Apply(stream, o)
+			}
+			observed[o]++
+		}
+	case BackendAggregate:
+		for j, c := range r.counts {
+			r.probs[j] = float64(c)
+		}
+		stream.Multinomial(h, r.probs, sampled)
+		if r.artif == nil {
+			r.channel.ApplyCounts(stream, sampled, observed)
+		} else {
+			for j := range inter {
+				inter[j] = 0
+			}
+			r.channel.ApplyCounts(stream, sampled, inter)
+			r.artif.ApplyCounts(stream, inter, observed)
+		}
+	default:
+		panic(fmt.Sprintf("sim: unresolved backend %v", r.backend))
+	}
+
+	a := r.agents[i]
+	wasCorrect := a.Opinion() == correctOp
+	a.Observe(observed, stream)
+
+	// Maintain the incremental display counts and correct-opinion tally.
+	if s := a.Display(); s != r.displays[i] {
+		r.counts[r.displays[i]]--
+		r.counts[s]++
+		r.displays[i] = s
+	}
+	if isCorrect := a.Opinion() == correctOp; isCorrect != wasCorrect {
+		if isCorrect {
+			r.correct++
+		} else {
+			r.correct--
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"noisypull/internal/noise"
+	"noisypull/internal/rng"
+)
+
+// Runner executes one configured simulation. Create it with New and run it
+// with Run; a Runner is single-use.
+type Runner struct {
+	cfg     Config
+	env     Env
+	agents  []Agent
+	streams []*rng.Stream
+	channel *noise.Channel
+	artif   *noise.Channel
+	backend Backend
+
+	displays []int     // symbol displayed by each agent this round
+	counts   []int     // population display counts per symbol
+	probs    []float64 // counts as float64, reused as multinomial weights
+}
+
+// New validates cfg, instantiates the population (assigning roles and
+// applying any adversarial corruption), and returns a ready Runner.
+func New(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	backend := cfg.Backend
+	if backend == BackendAuto {
+		if cfg.H <= autoExactLimit || cfg.Topology != nil {
+			backend = BackendExact
+		} else {
+			backend = BackendAggregate
+		}
+	}
+	ch, err := noise.NewChannel(cfg.Noise)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building noise channel: %w", err)
+	}
+	var art *noise.Channel
+	if cfg.Artificial != nil {
+		art, err = noise.NewChannel(cfg.Artificial)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building artificial channel: %w", err)
+		}
+	}
+
+	env := cfg.Env()
+	r := &Runner{
+		cfg:      cfg,
+		env:      env,
+		agents:   make([]Agent, cfg.N),
+		streams:  make([]*rng.Stream, cfg.N),
+		channel:  ch,
+		artif:    art,
+		backend:  backend,
+		displays: make([]int, cfg.N),
+		counts:   make([]int, env.Alphabet),
+		probs:    make([]float64, env.Alphabet),
+	}
+
+	correct := cfg.CorrectOpinion()
+	wrong := 1 - correct
+	for i := 0; i < cfg.N; i++ {
+		role := roleOf(i, cfg.Sources1, cfg.Sources0)
+		r.streams[i] = rng.Derive(cfg.Seed, uint64(i))
+		r.agents[i] = cfg.Protocol.NewAgent(i, role, env)
+		if s, ok := r.agents[i].(Seeder); ok {
+			s.SeedInit(r.streams[i])
+		}
+		if cfg.Corruption != CorruptNone {
+			if c, ok := r.agents[i].(Corruptible); ok {
+				c.Corrupt(cfg.Corruption, wrong, r.streams[i])
+			}
+		}
+	}
+	return r, nil
+}
+
+// roleOf assigns roles deterministically: agents [0, s1) are 1-sources,
+// agents [s1, s1+s0) are 0-sources, the rest are non-sources. Identities
+// are immaterial under uniform sampling.
+func roleOf(id, s1, s0 int) Role {
+	switch {
+	case id < s1:
+		return Role{IsSource: true, Preference: 1}
+	case id < s1+s0:
+		return Role{IsSource: true, Preference: 0}
+	default:
+		return Role{}
+	}
+}
+
+// Agents exposes the instantiated agents (read-only use intended: tests and
+// diagnostics inspect protocol state through it).
+func (r *Runner) Agents() []Agent { return r.agents }
+
+// Env returns the environment the agents were built with.
+func (r *Runner) Env() Env { return r.env }
+
+// Backend returns the observation backend actually in use after
+// auto-selection.
+func (r *Runner) Backend() Backend { return r.backend }
+
+// Run executes rounds until the protocol finishes (finite protocols), the
+// population has been all-correct for the stability window (infinite
+// protocols), or MaxRounds elapse. It is not safe to call twice.
+func (r *Runner) Run() (*Result, error) {
+	cfg := &r.cfg
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = defaultMaxRounds(cfg.N)
+	}
+	window := cfg.StabilityWindow
+	if window == 0 {
+		window = 1
+	}
+
+	finiteRounds := -1
+	if f, ok := cfg.Protocol.(Finite); ok {
+		finiteRounds = f.Rounds(r.env)
+		if finiteRounds < 1 {
+			return nil, fmt.Errorf("sim: finite protocol reports %d rounds", finiteRounds)
+		}
+	}
+
+	res := &Result{CorrectOpinion: cfg.CorrectOpinion()}
+	if cfg.TrackHistory {
+		capRounds := maxRounds
+		if finiteRounds > 0 && finiteRounds < capRounds {
+			capRounds = finiteRounds
+		}
+		if capRounds > 1<<20 {
+			capRounds = 1 << 20
+		}
+		res.History = make([]int, 0, capRounds)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.N {
+		workers = cfg.N
+	}
+
+	stable := 0
+	for round := 1; round <= maxRounds; round++ {
+		correctCount := r.step(workers)
+		res.Rounds = round
+		res.FinalCorrect = correctCount
+		if cfg.TrackHistory {
+			res.History = append(res.History, correctCount)
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(round, correctCount)
+		}
+
+		allCorrect := correctCount == cfg.N
+		if allCorrect && res.FirstAllCorrect == 0 {
+			res.FirstAllCorrect = round
+		}
+		if allCorrect {
+			stable++
+		} else {
+			stable = 0
+			res.FirstAllCorrect = 0 // require the *final* streak for stability semantics
+		}
+
+		if finiteRounds > 0 {
+			if round == finiteRounds {
+				res.Converged = allCorrect
+				return res, nil
+			}
+			continue
+		}
+		if stable >= window {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	res.Converged = finiteRounds > 0 && res.Rounds >= finiteRounds && res.FinalCorrect == cfg.N
+	return res, nil
+}
+
+// step executes one synchronous round and returns the number of agents
+// holding the correct opinion at its end.
+func (r *Runner) step(workers int) int {
+	n := r.cfg.N
+	d := r.env.Alphabet
+
+	// Phase A: snapshot displays and their counts.
+	for i := range r.counts {
+		r.counts[i] = 0
+	}
+	for i, a := range r.agents {
+		s := a.Display()
+		if s < 0 || s >= d {
+			panic(fmt.Sprintf("sim: agent %d displayed symbol %d outside alphabet %d", i, s, d))
+		}
+		r.displays[i] = s
+		r.counts[s]++
+	}
+	for i, c := range r.counts {
+		r.probs[i] = float64(c)
+	}
+
+	// Phase B: observe and update, in parallel, with per-worker scratch.
+	correct := r.cfg.CorrectOpinion()
+	partial := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sampled := make([]int, d)
+			inter := make([]int, d)
+			observed := make([]int, d)
+			count := 0
+			for i := lo; i < hi; i++ {
+				r.observe(i, sampled, inter, observed)
+				r.agents[i].Observe(observed, r.streams[i])
+				if r.agents[i].Opinion() == correct {
+					count++
+				}
+			}
+			partial[w] = count
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, c := range partial {
+		total += c
+	}
+	return total
+}
+
+// observe fills observed with agent i's per-symbol observation counts for
+// this round, using the selected backend. sampled, inter, and observed are
+// scratch buffers of alphabet size.
+func (r *Runner) observe(i int, sampled, inter, observed []int) {
+	stream := r.streams[i]
+	h := r.cfg.H
+	for j := range observed {
+		observed[j] = 0
+	}
+	switch r.backend {
+	case BackendExact:
+		n := r.cfg.N
+		var neighbors []int32
+		if r.cfg.Topology != nil {
+			neighbors = r.cfg.Topology.Neighbors(i)
+		}
+		for s := 0; s < h; s++ {
+			var sigma int
+			if neighbors != nil {
+				sigma = r.displays[neighbors[stream.Intn(len(neighbors))]]
+			} else {
+				sigma = r.displays[stream.Intn(n)]
+			}
+			o := r.channel.Apply(stream, sigma)
+			if r.artif != nil {
+				o = r.artif.Apply(stream, o)
+			}
+			observed[o]++
+		}
+	case BackendAggregate:
+		// The h sampled display symbols are Multinomial(h, counts/n).
+		stream.Multinomial(h, r.probs, sampled)
+		if r.artif == nil {
+			r.channel.ApplyCounts(stream, sampled, observed)
+			return
+		}
+		// Two-stage channel: noise first, then the agent's artificial noise.
+		for j := range inter {
+			inter[j] = 0
+		}
+		r.channel.ApplyCounts(stream, sampled, inter)
+		r.artif.ApplyCounts(stream, inter, observed)
+	default:
+		panic(fmt.Sprintf("sim: unresolved backend %v", r.backend))
+	}
+}

@@ -1,0 +1,365 @@
+// Package sim implements the synchronous-round simulation engine for the
+// noisy PULL(h) model (paper Section 1.3).
+//
+// In each round every agent displays a symbol from the protocol alphabet Σ;
+// every agent then samples h agents uniformly at random with replacement
+// (possibly itself) and receives, for each sample, a noisy copy of the
+// displayed symbol drawn from the noise matrix row; finally every agent
+// updates its state from the multiset of observations.
+//
+// The engine offers two observation backends with identical distributions:
+//
+//   - BackendExact draws every one of the h samples individually:
+//     O(h) work per agent-round. Best for small h.
+//   - BackendAggregate exploits exchangeability: the h sampled symbols are
+//     Multinomial(h, counts/n) distributed, and pushing k copies of symbol σ
+//     through the channel multinomially distributes them over row N[σ].
+//     O(|Σ|²) work per agent-round, enabling h = n at large n.
+//
+// Protocols receive observations as per-symbol counts, which is exactly the
+// information available to the anonymous agents of the model (observations
+// within a round carry no identity or order).
+//
+// Determinism: every agent owns an rng stream derived from (seed, agent id),
+// and rounds are barrier-synchronized, so results are bit-identical for any
+// worker count.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"noisypull/internal/graph"
+	"noisypull/internal/noise"
+	"noisypull/internal/rng"
+)
+
+// Backend selects how observations are sampled.
+type Backend int
+
+const (
+	// BackendAuto picks BackendExact for small h and BackendAggregate
+	// otherwise.
+	BackendAuto Backend = iota
+	// BackendExact samples each of the h observations individually.
+	BackendExact
+	// BackendAggregate samples per-symbol counts via nested multinomials.
+	BackendAggregate
+)
+
+// autoExactLimit is the h at or below which BackendAuto picks the exact
+// backend: drawing h individual samples is cheaper than 2·|Σ| binomial
+// draws for small h.
+const autoExactLimit = 8
+
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendExact:
+		return "exact"
+	case BackendAggregate:
+		return "aggregate"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Role describes an agent's (incorruptible) source status.
+type Role struct {
+	// IsSource reports whether the agent is a source.
+	IsSource bool
+	// Preference is the source's initial preference in {0, 1}; it is
+	// meaningful only when IsSource is true.
+	Preference int
+}
+
+// Env carries the system parameters the paper allows protocol designers to
+// know (Theorems 4 and 5 are stated for a designer who knows n, h, the
+// noise level, the number of sources, and the bias — but crucially not
+// which opinion is correct).
+type Env struct {
+	// N is the population size.
+	N int
+	// H is the per-round sample size.
+	H int
+	// Alphabet is |Σ|.
+	Alphabet int
+	// Delta is the uniform noise level the protocol should assume. When the
+	// engine applies artificial noise (Theorem 8), this is δ′ = f(δ).
+	Delta float64
+	// Sources is the total number of source agents, s0 + s1.
+	Sources int
+	// Bias is s = |s1 − s0| ≥ 1.
+	Bias int
+}
+
+// Agent is one protocol instance. The engine calls Display at the start of
+// every round and Observe at its end. Implementations are driven by exactly
+// one goroutine at a time and need no internal locking.
+type Agent interface {
+	// Display returns the symbol in [0, |Σ|) to show this round.
+	Display() int
+	// Observe delivers this round's noisy observations as per-symbol counts
+	// (summing to h) along with the agent's private random stream.
+	Observe(counts []int, r *rng.Stream)
+	// Opinion returns the agent's current opinion in {0, 1}.
+	Opinion() int
+}
+
+// Protocol builds agents. Implementations live in package protocol.
+type Protocol interface {
+	// Alphabet returns the message alphabet size the protocol uses.
+	Alphabet() int
+	// NewAgent creates the agent with the given id and role.
+	NewAgent(id int, role Role, env Env) Agent
+}
+
+// Finite is implemented by protocols with a predetermined duration (such as
+// SF, whose phases are fixed by n, h, δ, s): the engine runs them for
+// exactly Rounds rounds.
+type Finite interface {
+	// Rounds returns the total number of rounds the protocol runs.
+	Rounds(env Env) int
+}
+
+// CorruptionMode selects the adversary used to initialize agents in the
+// self-stabilizing setting (paper Section 1.3): the adversary may corrupt
+// all internal state except source status and knowledge of n and the noise
+// matrix.
+type CorruptionMode int
+
+const (
+	// CorruptNone leaves initial states untouched.
+	CorruptNone CorruptionMode = iota
+	// CorruptWrongConsensus initializes every agent as if the system had
+	// converged to the incorrect opinion: memories full of fake supporting
+	// samples, opinions and weak opinions set wrong, clocks desynchronized.
+	// This is the hardest natural starting point.
+	CorruptWrongConsensus
+	// CorruptRandom scrambles internal state uniformly at random.
+	CorruptRandom
+)
+
+func (c CorruptionMode) String() string {
+	switch c {
+	case CorruptNone:
+		return "none"
+	case CorruptWrongConsensus:
+		return "wrong-consensus"
+	case CorruptRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("CorruptionMode(%d)", int(c))
+	}
+}
+
+// Corruptible is implemented by agents that support adversarial
+// initialization. wrongOpinion is the complement of the correct opinion.
+type Corruptible interface {
+	Corrupt(mode CorruptionMode, wrongOpinion int, r *rng.Stream)
+}
+
+// Seeder is implemented by agents whose initial state is randomized (for
+// example the alternating-display SF variant flips a fair coin for its
+// first message). The engine calls SeedInit exactly once, right after
+// construction and before any corruption, with the agent's private stream.
+type Seeder interface {
+	SeedInit(r *rng.Stream)
+}
+
+// Config specifies one simulation.
+type Config struct {
+	// N is the number of agents.
+	N int
+	// H is the sample size per round (1 ≤ H; H may exceed N since sampling
+	// is with replacement).
+	H int
+	// Sources1 and Sources0 are the numbers of sources preferring 1 and 0.
+	// They must differ (bias ≥ 1) and satisfy s0, s1 ≤ n/4 (Eq. 18).
+	Sources1, Sources0 int
+	// Noise is the communication channel's noise matrix. Its alphabet must
+	// match the protocol's.
+	Noise *noise.Matrix
+	// Artificial, if non-nil, is applied by every agent to each received
+	// message after Noise (Definition 6, simulation with artificial noise).
+	Artificial *noise.Matrix
+	// Topology, if non-nil, restricts sampling: each agent draws its h
+	// observations uniformly (with replacement) from its graph neighbors
+	// instead of the whole population. Requires the exact backend (the
+	// aggregate backend exploits global exchangeability, which only holds
+	// on the complete graph); BackendAuto resolves accordingly. Nil means
+	// the paper's complete-graph model.
+	Topology *graph.Graph
+	// Protocol builds the agents.
+	Protocol Protocol
+	// Seed drives all randomness.
+	Seed uint64
+	// Backend selects the observation sampler; BackendAuto by default.
+	Backend Backend
+	// MaxRounds caps the run for infinite protocols (and acts as a safety
+	// cap for finite ones). Zero means a default of 200·n + 10000.
+	MaxRounds int
+	// StabilityWindow is how many consecutive all-correct rounds an
+	// infinite protocol must hold to count as converged. Zero means 1.
+	StabilityWindow int
+	// Corruption selects adversarial initialization for the
+	// self-stabilizing setting.
+	Corruption CorruptionMode
+	// Workers is the number of goroutines stepping agents; 0 means
+	// GOMAXPROCS. Results do not depend on it.
+	Workers int
+	// TrackHistory records the per-round count of agents holding the
+	// correct opinion in Result.History.
+	TrackHistory bool
+	// OnRound, if non-nil, is called after every round with the round index
+	// (1-based) and the number of agents currently holding the correct
+	// opinion. It runs on the engine's goroutine.
+	OnRound func(round, correct int)
+}
+
+// Result reports a finished simulation.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Converged reports success: for finite protocols, all agents correct
+	// when the protocol ended; for infinite ones, all-correct held for the
+	// stability window before MaxRounds.
+	Converged bool
+	// FirstAllCorrect is the first (1-based) round of the final streak of
+	// all-correct rounds — i.e. the moment stable consensus on the correct
+	// opinion was reached — or 0 if the run did not end all-correct.
+	FirstAllCorrect int
+	// CorrectOpinion is the plurality preference among sources.
+	CorrectOpinion int
+	// FinalCorrect is the number of agents holding the correct opinion at
+	// the end.
+	FinalCorrect int
+	// History, when requested, holds the per-round correct-opinion counts.
+	History []int
+}
+
+// Validate checks the configuration, returning a descriptive error for the
+// first violated constraint.
+func (c *Config) Validate() error {
+	if c.Protocol == nil {
+		return errors.New("sim: config needs a Protocol")
+	}
+	if c.Noise == nil {
+		return errors.New("sim: config needs a Noise matrix")
+	}
+	if c.N < 2 {
+		return fmt.Errorf("sim: N = %d, need at least 2 agents", c.N)
+	}
+	if c.H < 1 {
+		return fmt.Errorf("sim: H = %d, need at least 1 sample per round", c.H)
+	}
+	if c.Sources0 < 0 || c.Sources1 < 0 {
+		return fmt.Errorf("sim: negative source counts (%d, %d)", c.Sources0, c.Sources1)
+	}
+	if c.Sources0 == c.Sources1 {
+		return fmt.Errorf("sim: bias is zero (s0 = s1 = %d); the correct opinion is undefined", c.Sources0)
+	}
+	if c.Sources0+c.Sources1 == 0 {
+		return errors.New("sim: no sources")
+	}
+	if c.Sources0+c.Sources1 > c.N {
+		return fmt.Errorf("sim: %d sources exceed population %d", c.Sources0+c.Sources1, c.N)
+	}
+	if 4*c.Sources0 > c.N || 4*c.Sources1 > c.N {
+		return fmt.Errorf("sim: source counts (%d, %d) violate s0, s1 <= n/4 with n = %d (Eq. 18)", c.Sources0, c.Sources1, c.N)
+	}
+	d := c.Protocol.Alphabet()
+	if d < 2 {
+		return fmt.Errorf("sim: protocol alphabet %d < 2", d)
+	}
+	if c.Noise.Alphabet() != d {
+		return fmt.Errorf("sim: noise alphabet %d != protocol alphabet %d", c.Noise.Alphabet(), d)
+	}
+	if c.Artificial != nil && c.Artificial.Alphabet() != d {
+		return fmt.Errorf("sim: artificial noise alphabet %d != protocol alphabet %d", c.Artificial.Alphabet(), d)
+	}
+	switch c.Backend {
+	case BackendAuto, BackendExact, BackendAggregate:
+	default:
+		return fmt.Errorf("sim: unknown backend %d", int(c.Backend))
+	}
+	if c.Topology != nil {
+		if c.Topology.N() != c.N {
+			return fmt.Errorf("sim: topology has %d vertices, population has %d", c.Topology.N(), c.N)
+		}
+		if c.Topology.MinDegree() < 1 {
+			return errors.New("sim: topology has an isolated vertex; every agent needs at least one neighbor to sample")
+		}
+		if c.Backend == BackendAggregate {
+			return errors.New("sim: the aggregate backend requires the complete graph; use BackendExact (or BackendAuto) with a topology")
+		}
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("sim: negative MaxRounds %d", c.MaxRounds)
+	}
+	if c.StabilityWindow < 0 {
+		return fmt.Errorf("sim: negative StabilityWindow %d", c.StabilityWindow)
+	}
+	return nil
+}
+
+// CorrectOpinion returns the plurality preference among sources.
+func (c *Config) CorrectOpinion() int {
+	if c.Sources1 > c.Sources0 {
+		return 1
+	}
+	return 0
+}
+
+// Bias returns s = |s1 − s0|.
+func (c *Config) Bias() int {
+	b := c.Sources1 - c.Sources0
+	if b < 0 {
+		return -b
+	}
+	return b
+}
+
+// Env returns the environment handed to agents. The uniform noise level is
+// taken from the effective channel: the artificial-noise target level if an
+// artificial matrix is set, else the noise matrix's own uniform level (or
+// its upper-bound level if it is not uniform).
+func (c *Config) Env() Env {
+	delta := effectiveDelta(c.Noise, c.Artificial)
+	return Env{
+		N:        c.N,
+		H:        c.H,
+		Alphabet: c.Protocol.Alphabet(),
+		Delta:    delta,
+		Sources:  c.Sources0 + c.Sources1,
+		Bias:     c.Bias(),
+	}
+}
+
+func effectiveDelta(n, artificial *noise.Matrix) float64 {
+	if artificial != nil {
+		combined, err := noise.Compose(n, artificial)
+		if err == nil {
+			if d, ok := combined.UniformDelta(1e-6); ok {
+				return d
+			}
+			return combined.UpperDelta()
+		}
+	}
+	if d, ok := n.UniformDelta(1e-9); ok {
+		return d
+	}
+	return n.UpperDelta()
+}
+
+// defaultMaxRounds caps runaway simulations. Linear-in-n protocols need
+// O(n log n / h) rounds; this allows a generous multiple.
+func defaultMaxRounds(n int) int {
+	r := 200*n + 10000
+	if r < 0 || r > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return r
+}

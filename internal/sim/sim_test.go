@@ -1,0 +1,779 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"noisypull/internal/graph"
+	"noisypull/internal/noise"
+	"noisypull/internal/rng"
+)
+
+// constProtocol displays a fixed symbol, records observations, and always
+// holds opinion 0. It is the instrument used to test the engine itself.
+type constProtocol struct {
+	symbol   int
+	alphabet int
+}
+
+func (p *constProtocol) Alphabet() int { return p.alphabet }
+func (p *constProtocol) NewAgent(id int, role Role, env Env) Agent {
+	return &constAgent{symbol: p.symbol, alphabet: p.alphabet}
+}
+
+type constAgent struct {
+	symbol   int
+	alphabet int
+	seen     [][]int
+}
+
+func (a *constAgent) Display() int { return a.symbol }
+func (a *constAgent) Observe(counts []int, r *rng.Stream) {
+	cp := append([]int(nil), counts...)
+	a.seen = append(a.seen, cp)
+}
+func (a *constAgent) Opinion() int { return 0 }
+
+// copySourceProtocol is a deliberately trivial convergent protocol used to
+// test the engine's convergence bookkeeping (not noise robustness): any
+// observed 1 makes the agent stick to opinion 1 forever. When the correct
+// opinion is 1 and noise is positive, the whole population converges within
+// a couple of rounds.
+type copySourceProtocol struct{}
+
+func (copySourceProtocol) Alphabet() int { return 2 }
+func (copySourceProtocol) NewAgent(id int, role Role, env Env) Agent {
+	return &copyAgent{role: role}
+}
+
+type copyAgent struct {
+	role    Role
+	opinion int
+}
+
+func (a *copyAgent) Display() int {
+	if a.role.IsSource {
+		return a.role.Preference
+	}
+	return a.opinion
+}
+
+func (a *copyAgent) Observe(counts []int, r *rng.Stream) {
+	if counts[1] > 0 {
+		a.opinion = 1
+	}
+}
+
+func (a *copyAgent) Opinion() int { return a.opinion }
+
+// finiteWrap runs any protocol for a fixed number of rounds.
+type finiteWrap struct {
+	Protocol
+	rounds int
+}
+
+func (f finiteWrap) Rounds(env Env) int { return f.rounds }
+
+func uniform2(t *testing.T, delta float64) *noise.Matrix {
+	t.Helper()
+	n, err := noise.Uniform(2, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func baseConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		N:        100,
+		H:        4,
+		Sources1: 2,
+		Sources0: 1,
+		Noise:    uniform2(t, 0.1),
+		Protocol: &constProtocol{symbol: 0, alphabet: 2},
+		Seed:     1,
+	}
+}
+
+func TestValidateAcceptsBase(t *testing.T) {
+	cfg := baseConfig(t)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	n4, err := noise.Uniform(4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nil protocol", func(c *Config) { c.Protocol = nil }},
+		{"nil noise", func(c *Config) { c.Noise = nil }},
+		{"tiny population", func(c *Config) { c.N = 1 }},
+		{"zero h", func(c *Config) { c.H = 0 }},
+		{"negative sources", func(c *Config) { c.Sources0 = -1 }},
+		{"zero bias", func(c *Config) { c.Sources0 = 2; c.Sources1 = 2 }},
+		{"no sources", func(c *Config) { c.Sources0 = 0; c.Sources1 = 0 }},
+		{"too many sources", func(c *Config) { c.Sources1 = 90; c.Sources0 = 20 }},
+		{"sources over n/4", func(c *Config) { c.Sources1 = 30; c.Sources0 = 1 }},
+		{"alphabet mismatch", func(c *Config) { c.Noise = n4 }},
+		{"artificial mismatch", func(c *Config) { c.Artificial = n4 }},
+		{"bad backend", func(c *Config) { c.Backend = Backend(99) }},
+		{"negative max rounds", func(c *Config) { c.MaxRounds = -1 }},
+		{"negative window", func(c *Config) { c.StabilityWindow = -2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig(t)
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if _, err := New(cfg); err == nil {
+				t.Fatalf("New accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	cfg := Config{Sources1: 5, Sources0: 2}
+	if cfg.CorrectOpinion() != 1 || cfg.Bias() != 3 {
+		t.Fatalf("helpers = %d, %d", cfg.CorrectOpinion(), cfg.Bias())
+	}
+	cfg = Config{Sources1: 1, Sources0: 4}
+	if cfg.CorrectOpinion() != 0 || cfg.Bias() != 3 {
+		t.Fatalf("helpers = %d, %d", cfg.CorrectOpinion(), cfg.Bias())
+	}
+}
+
+func TestRoleAssignment(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Protocol = copySourceProtocol{}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := r.Agents()
+	if len(agents) != cfg.N {
+		t.Fatalf("got %d agents", len(agents))
+	}
+	for i, a := range agents {
+		ca := a.(*copyAgent)
+		switch {
+		case i < cfg.Sources1:
+			if !ca.role.IsSource || ca.role.Preference != 1 {
+				t.Fatalf("agent %d role = %+v, want 1-source", i, ca.role)
+			}
+		case i < cfg.Sources1+cfg.Sources0:
+			if !ca.role.IsSource || ca.role.Preference != 0 {
+				t.Fatalf("agent %d role = %+v, want 0-source", i, ca.role)
+			}
+		default:
+			if ca.role.IsSource {
+				t.Fatalf("agent %d role = %+v, want non-source", i, ca.role)
+			}
+		}
+	}
+}
+
+func TestEnvContents(t *testing.T) {
+	cfg := baseConfig(t)
+	env := cfg.Env()
+	if env.N != 100 || env.H != 4 || env.Alphabet != 2 {
+		t.Fatalf("env = %+v", env)
+	}
+	if env.Sources != 3 || env.Bias != 1 {
+		t.Fatalf("env sources/bias = %d/%d", env.Sources, env.Bias)
+	}
+	if math.Abs(env.Delta-0.1) > 1e-12 {
+		t.Fatalf("env delta = %v", env.Delta)
+	}
+}
+
+func TestEnvDeltaWithArtificialNoise(t *testing.T) {
+	nm, err := noise.TwoSymbol(0.1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := noise.Reduce(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t)
+	cfg.Noise = nm
+	cfg.Artificial = red.P
+	env := cfg.Env()
+	if math.Abs(env.Delta-red.DeltaPrime) > 1e-9 {
+		t.Fatalf("env delta = %v, want %v", env.Delta, red.DeltaPrime)
+	}
+}
+
+func TestObservationCountsSumToH(t *testing.T) {
+	for _, backend := range []Backend{BackendExact, BackendAggregate} {
+		cfg := baseConfig(t)
+		cfg.H = 7
+		cfg.Backend = backend
+		cfg.Protocol = &constProtocol{symbol: 0, alphabet: 2}
+		cfg.MaxRounds = 3
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range r.Agents() {
+			ca := a.(*constAgent)
+			if len(ca.seen) != 3 {
+				t.Fatalf("%v: agent %d observed %d rounds", backend, i, len(ca.seen))
+			}
+			for _, counts := range ca.seen {
+				sum := 0
+				for _, c := range counts {
+					sum += c
+				}
+				if sum != cfg.H {
+					t.Fatalf("%v: observation counts sum to %d, want %d", backend, sum, cfg.H)
+				}
+			}
+		}
+	}
+}
+
+// TestObservationNoiseRate checks that when everyone displays 0 under
+// δ-uniform noise, the fraction of 1-observations matches δ for both
+// backends.
+func TestObservationNoiseRate(t *testing.T) {
+	const delta = 0.2
+	for _, backend := range []Backend{BackendExact, BackendAggregate} {
+		cfg := Config{
+			N:         200,
+			H:         50,
+			Sources1:  2,
+			Sources0:  1,
+			Noise:     uniform2(t, delta),
+			Protocol:  &constProtocol{symbol: 0, alphabet: 2},
+			Seed:      77,
+			Backend:   backend,
+			MaxRounds: 20,
+		}
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var ones, total float64
+		for _, a := range r.Agents() {
+			for _, counts := range a.(*constAgent).seen {
+				ones += float64(counts[1])
+				total += float64(counts[0] + counts[1])
+			}
+		}
+		got := ones / total
+		if math.Abs(got-delta) > 0.005 {
+			t.Fatalf("%v: observed flip rate %v, want %v", backend, got, delta)
+		}
+	}
+}
+
+// TestBackendsStatisticallyAgree compares mean observed-ones per round
+// between the exact and aggregate backends under a mixed display profile.
+func TestBackendsStatisticallyAgree(t *testing.T) {
+	means := make(map[Backend]float64)
+	for _, backend := range []Backend{BackendExact, BackendAggregate} {
+		cfg := Config{
+			N:         150,
+			H:         30,
+			Sources1:  30, // 30 agents display 1 (sources with pref 1)
+			Sources0:  10,
+			Noise:     uniform2(t, 0.25),
+			Protocol:  copyDisplayRoleProtocol{},
+			Seed:      5,
+			Backend:   backend,
+			MaxRounds: 40,
+		}
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var ones, rounds float64
+		for _, a := range r.Agents() {
+			for _, counts := range a.(*roleDisplayAgent).seen {
+				ones += float64(counts[1])
+				rounds++
+			}
+		}
+		means[backend] = ones / rounds
+	}
+	// Expected ones per observation: p1 = (40/150 displayed... sources-1
+	// display 1, everyone else displays 0): p = (30*(0.75) + 120*0.25)/150.
+	want := (30*0.75 + 120*0.25) / 150 * 30
+	for b, m := range means {
+		if math.Abs(m-want) > 0.25 {
+			t.Fatalf("%v: mean ones %v, want ~%v", b, m, want)
+		}
+	}
+	if math.Abs(means[BackendExact]-means[BackendAggregate]) > 0.3 {
+		t.Fatalf("backends disagree: %v vs %v", means[BackendExact], means[BackendAggregate])
+	}
+}
+
+// copyDisplayRoleProtocol: sources with preference 1 display 1, everyone
+// else displays 0; observations are recorded.
+type copyDisplayRoleProtocol struct{}
+
+func (copyDisplayRoleProtocol) Alphabet() int { return 2 }
+func (copyDisplayRoleProtocol) NewAgent(id int, role Role, env Env) Agent {
+	sym := 0
+	if role.IsSource && role.Preference == 1 {
+		sym = 1
+	}
+	return &roleDisplayAgent{symbol: sym}
+}
+
+type roleDisplayAgent struct {
+	symbol int
+	seen   [][]int
+}
+
+func (a *roleDisplayAgent) Display() int { return a.symbol }
+func (a *roleDisplayAgent) Observe(counts []int, r *rng.Stream) {
+	a.seen = append(a.seen, append([]int(nil), counts...))
+}
+func (a *roleDisplayAgent) Opinion() int { return 0 }
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *Result {
+		cfg := Config{
+			N:               120,
+			H:               16,
+			Sources1:        3,
+			Sources0:        1,
+			Noise:           uniform2(t, 0.15),
+			Protocol:        copySourceProtocol{},
+			Seed:            42,
+			Workers:         workers,
+			StabilityWindow: 3,
+			MaxRounds:       500,
+			TrackHistory:    true,
+		}
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run(1)
+	r4 := run(4)
+	r16 := run(16)
+	if r1.Rounds != r4.Rounds || r4.Rounds != r16.Rounds {
+		t.Fatalf("rounds differ: %d, %d, %d", r1.Rounds, r4.Rounds, r16.Rounds)
+	}
+	for i := range r1.History {
+		if r1.History[i] != r4.History[i] || r1.History[i] != r16.History[i] {
+			t.Fatalf("history diverges at round %d", i)
+		}
+	}
+}
+
+func TestConvergenceBookkeeping(t *testing.T) {
+	cfg := Config{
+		N:               60,
+		H:               20,
+		Sources1:        6,
+		Sources0:        2,
+		Noise:           uniform2(t, 0.05),
+		Protocol:        copySourceProtocol{},
+		Seed:            3,
+		StabilityWindow: 5,
+		MaxRounds:       1000,
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("copy protocol did not converge: %+v", res)
+	}
+	if res.CorrectOpinion != 1 {
+		t.Fatalf("correct opinion = %d", res.CorrectOpinion)
+	}
+	if res.FinalCorrect != cfg.N {
+		t.Fatalf("final correct = %d", res.FinalCorrect)
+	}
+	if res.FirstAllCorrect == 0 || res.FirstAllCorrect > res.Rounds {
+		t.Fatalf("first all-correct = %d of %d", res.FirstAllCorrect, res.Rounds)
+	}
+	if res.Rounds-res.FirstAllCorrect+1 < cfg.StabilityWindow {
+		t.Fatalf("stability window not satisfied: first=%d rounds=%d", res.FirstAllCorrect, res.Rounds)
+	}
+}
+
+func TestFiniteProtocolRunsExactRounds(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Protocol = finiteWrap{Protocol: copySourceProtocol{}, rounds: 17}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 17 {
+		t.Fatalf("finite protocol ran %d rounds, want 17", res.Rounds)
+	}
+}
+
+func TestFiniteProtocolInvalidDuration(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Protocol = finiteWrap{Protocol: copySourceProtocol{}, rounds: 0}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err == nil {
+		t.Fatal("zero-duration finite protocol did not error")
+	}
+}
+
+func TestMaxRoundsCapsInfiniteProtocol(t *testing.T) {
+	cfg := baseConfig(t) // constProtocol never reaches opinion 1... correct is 1
+	cfg.MaxRounds = 25
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 25 || res.Converged {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestOnRoundCallback(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.MaxRounds = 5
+	var rounds []int
+	cfg.OnRound = func(round, correct int) { rounds = append(rounds, round) }
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 5 || rounds[0] != 1 || rounds[4] != 5 {
+		t.Fatalf("callback rounds = %v", rounds)
+	}
+}
+
+// corruptibleAgent verifies that the engine invokes Corrupt exactly when
+// configured.
+type corruptibleProtocol struct{ corrupted *int }
+
+func (p corruptibleProtocol) Alphabet() int { return 2 }
+func (p corruptibleProtocol) NewAgent(id int, role Role, env Env) Agent {
+	return &corruptibleAgent{corrupted: p.corrupted}
+}
+
+type corruptibleAgent struct {
+	corrupted *int
+	wrongSeen int
+}
+
+func (a *corruptibleAgent) Display() int                        { return 0 }
+func (a *corruptibleAgent) Observe(counts []int, r *rng.Stream) {}
+func (a *corruptibleAgent) Opinion() int                        { return 0 }
+func (a *corruptibleAgent) Corrupt(mode CorruptionMode, wrong int, r *rng.Stream) {
+	*a.corrupted++
+	a.wrongSeen = wrong
+}
+
+func TestCorruptionInvocation(t *testing.T) {
+	count := 0
+	cfg := baseConfig(t)
+	cfg.Protocol = corruptibleProtocol{corrupted: &count}
+	cfg.Corruption = CorruptWrongConsensus
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != cfg.N {
+		t.Fatalf("corrupted %d agents, want %d", count, cfg.N)
+	}
+	// Correct opinion is 1 (s1 > s0), so the adversary pushes 0.
+	if got := r.Agents()[0].(*corruptibleAgent).wrongSeen; got != 0 {
+		t.Fatalf("wrong opinion = %d", got)
+	}
+
+	count = 0
+	cfg.Corruption = CorruptNone
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("CorruptNone corrupted %d agents", count)
+	}
+}
+
+func TestBackendAutoSelection(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.H = 2
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Backend() != BackendExact {
+		t.Fatalf("auto backend for h=2 = %v", r.Backend())
+	}
+	cfg.H = 64
+	r, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Backend() != BackendAggregate {
+		t.Fatalf("auto backend for h=64 = %v", r.Backend())
+	}
+}
+
+func TestBackendStrings(t *testing.T) {
+	if BackendAuto.String() != "auto" || BackendExact.String() != "exact" ||
+		BackendAggregate.String() != "aggregate" || Backend(9).String() == "" {
+		t.Fatal("backend strings wrong")
+	}
+	if CorruptNone.String() != "none" || CorruptWrongConsensus.String() != "wrong-consensus" ||
+		CorruptRandom.String() != "random" || CorruptionMode(9).String() == "" {
+		t.Fatal("corruption strings wrong")
+	}
+}
+
+func TestHistoryTracking(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.MaxRounds = 10
+	cfg.TrackHistory = true
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 10 {
+		t.Fatalf("history length = %d", len(res.History))
+	}
+	for _, c := range res.History {
+		if c < 0 || c > cfg.N {
+			t.Fatalf("history count %d out of range", c)
+		}
+	}
+}
+
+func TestSamplingWithReplacementAllowsHGreaterThanN(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.N = 10
+	cfg.H = 50
+	cfg.Sources1 = 2
+	cfg.Sources0 = 1
+	for _, backend := range []Backend{BackendExact, BackendAggregate} {
+		cfg.Backend = backend
+		cfg.MaxRounds = 2
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		for _, a := range r.Agents() {
+			for _, counts := range a.(*constAgent).seen {
+				sum := 0
+				for _, c := range counts {
+					sum += c
+				}
+				if sum != 50 {
+					t.Fatalf("%v: h>n counts sum to %d", backend, sum)
+				}
+			}
+		}
+	}
+}
+
+// TestConfigFuzzConsistency drives random configurations through Validate
+// and New: whenever Validate accepts, New must succeed and a short run must
+// complete with coherent bookkeeping; whenever Validate rejects, New must
+// reject too.
+func TestConfigFuzzConsistency(t *testing.T) {
+	r := rng.New(31337)
+	nm2 := uniform2(t, 0.2)
+	nm4, err := noise.Uniform(4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		alphabet := 2
+		var matrix *noise.Matrix
+		if r.Coin() == 0 {
+			matrix = nm2
+		} else {
+			matrix = nm4
+			alphabet = 4
+		}
+		cfg := Config{
+			N:         r.Intn(60) - 2, // may be invalid
+			H:         r.Intn(20) - 2,
+			Sources1:  r.Intn(8) - 1,
+			Sources0:  r.Intn(8) - 1,
+			Noise:     matrix,
+			Protocol:  &constProtocol{symbol: 0, alphabet: alphabet},
+			Seed:      uint64(trial),
+			Backend:   Backend(r.Intn(4) - 1), // may be invalid
+			MaxRounds: 3,
+		}
+		err := cfg.Validate()
+		runner, newErr := New(cfg)
+		if (err == nil) != (newErr == nil) {
+			t.Fatalf("trial %d: Validate err=%v but New err=%v (cfg %+v)", trial, err, newErr, cfg)
+		}
+		if err != nil {
+			continue
+		}
+		res, runErr := runner.Run()
+		if runErr != nil {
+			t.Fatalf("trial %d: run failed: %v", trial, runErr)
+		}
+		// The run may end before MaxRounds if the constant protocol happens
+		// to hold the correct opinion (s0 > s1) and stabilizes immediately.
+		if res.Rounds < 1 || res.Rounds > 3 {
+			t.Fatalf("trial %d: rounds = %d", trial, res.Rounds)
+		}
+		if res.FinalCorrect < 0 || res.FinalCorrect > cfg.N {
+			t.Fatalf("trial %d: final correct %d", trial, res.FinalCorrect)
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	ring, err := graph.Ring(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t)
+	cfg.Topology = ring
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	// Size mismatch.
+	cfg.N = 99
+	cfg.Sources1, cfg.Sources0 = 2, 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("size-mismatched topology accepted")
+	}
+	// Aggregate backend with topology.
+	cfg = baseConfig(t)
+	cfg.Topology = ring
+	cfg.Backend = BackendAggregate
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("aggregate backend with topology accepted")
+	}
+	// Isolated vertex.
+	empty, err := graph.ErdosRenyi(100, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = baseConfig(t)
+	cfg.Topology = empty
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("isolated-vertex topology accepted")
+	}
+}
+
+// TestTopologySamplingRespectsNeighborhoods pins displays by agent id and
+// verifies an agent on a ring only ever observes (noiselessly) its
+// neighbors' symbols.
+func TestTopologySamplingRespectsNeighborhoods(t *testing.T) {
+	const n = 40
+	ring, err := graph.Ring(n, 1) // neighbors of v: v±1
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Display 1 only at vertices 10 and 12; everyone else displays 0.
+	proto := &pinnedDisplayProtocol{ones: map[int]bool{10: true, 12: true}}
+	cfg := Config{
+		N: n, H: 50, Sources1: 2, Sources0: 1,
+		Noise:     uniform2(t, 0), // noiseless: observations are exact
+		Protocol:  proto,
+		Seed:      3,
+		Topology:  ring,
+		MaxRounds: 10,
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Backend() != BackendExact {
+		t.Fatalf("backend = %v, want exact with topology", r.Backend())
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range r.Agents() {
+		pa := a.(*pinnedAgent)
+		sawOne := false
+		for _, counts := range pa.seen {
+			if counts[1] > 0 {
+				sawOne = true
+			}
+		}
+		// Only vertex 11 has both neighbors displaying 1; vertices 9, 11,
+		// 13 have at least one 1-neighbor.
+		wantOne := i == 9 || i == 11 || i == 13
+		if sawOne != wantOne {
+			t.Fatalf("vertex %d sawOne=%v, want %v", i, sawOne, wantOne)
+		}
+	}
+}
+
+type pinnedDisplayProtocol struct{ ones map[int]bool }
+
+func (p *pinnedDisplayProtocol) Alphabet() int { return 2 }
+func (p *pinnedDisplayProtocol) NewAgent(id int, role Role, env Env) Agent {
+	sym := 0
+	if p.ones[id] {
+		sym = 1
+	}
+	return &pinnedAgent{symbol: sym}
+}
+
+type pinnedAgent struct {
+	symbol int
+	seen   [][]int
+}
+
+func (a *pinnedAgent) Display() int { return a.symbol }
+func (a *pinnedAgent) Observe(counts []int, r *rng.Stream) {
+	a.seen = append(a.seen, append([]int(nil), counts...))
+}
+func (a *pinnedAgent) Opinion() int { return 0 }

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is an ordinary-least-squares line fit y = Slope·x + Intercept with the
+// coefficient of determination R2.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits a least-squares line through the points (xs[i], ys[i]).
+// It returns an error if fewer than two points are given, the slices differ
+// in length, or all xs coincide.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: LinearFit length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("stats: LinearFit needs at least 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: LinearFit with constant x")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // perfectly constant y is perfectly fit by the horizontal line
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// LogLogFit fits a power law y = C·x^Slope by least squares in log-log
+// space. All xs and ys must be strictly positive. The returned Intercept is
+// ln C.
+func LogLogFit(xs, ys []float64) (Fit, error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: LogLogFit length mismatch %d vs %d", len(xs), len(ys))
+	}
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: LogLogFit needs positive data, got (%v, %v) at %d", xs[i], ys[i], i)
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// SemiLogXFit fits y = Slope·ln(x) + Intercept, the shape of an O(log n)
+// running-time curve. All xs must be strictly positive.
+func SemiLogXFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: SemiLogXFit length mismatch %d vs %d", len(xs), len(ys))
+	}
+	lx := make([]float64, len(xs))
+	for i := range xs {
+		if xs[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: SemiLogXFit needs positive x, got %v at %d", xs[i], i)
+		}
+		lx[i] = math.Log(xs[i])
+	}
+	return LinearFit(lx, ys)
+}

@@ -1,0 +1,72 @@
+package stats
+
+import "math"
+
+// This file implements the probability lemmas of the paper's Section 5.1,
+// used both inside the analysis cross-checks and by tests that verify the
+// simulator agrees with theory.
+
+// BiasedCoinG is the function g(θ, m) of Lemma 21 (after Fraigniaud–Natale,
+// Lemma 9): a lower-bound kernel for the probability that a Binomial(m,
+// 1/2+θ) exceeds its median half:
+//
+//	g(θ, m) = θ·(1−θ²)^((m−1)/2)          if θ < 1/√m,
+//	g(θ, m) = (1/√m)·(1−1/m)^((m−1)/2)    if θ ≥ 1/√m.
+//
+// Domain: θ ∈ [0, 1/2], m ≥ 1.
+func BiasedCoinG(theta float64, m int) float64 {
+	if m < 1 || theta < 0 {
+		return 0
+	}
+	fm := float64(m)
+	e := (fm - 1) / 2
+	if theta < 1/math.Sqrt(fm) {
+		return theta * math.Pow(1-theta*theta, e)
+	}
+	return math.Pow(1-1/fm, e) / math.Sqrt(fm)
+}
+
+// RademacherAdvantage is the Lemma 22 lower bound on
+// P(X > 0) − P(X < 0) for X a sum of m i.i.d. Rademacher variables with
+// parameter 1/2 + θ (0 ≤ θ ≤ 1/2):
+//
+//	P(X > 0) − P(X < 0) ≥ √(2/(πe)) · min{√m·θ, 1}.
+func RademacherAdvantage(m int, theta float64) float64 {
+	if m <= 0 || theta <= 0 {
+		return 0
+	}
+	c := math.Sqrt(2 / (math.Pi * math.E))
+	return c * math.Min(math.Sqrt(float64(m))*theta, 1)
+}
+
+// ExactSignAdvantage computes P(X > 0) − P(X < 0) exactly for X a sum of m
+// i.i.d. Rademacher variables with parameter 1/2 + θ, via the binomial CDF:
+// with B ~ Binomial(m, 1/2+θ), X > 0 ⟺ B > m/2 and X < 0 ⟺ B < m/2.
+func ExactSignAdvantage(m int, theta float64) float64 {
+	p := 0.5 + theta
+	if m <= 0 {
+		return 0
+	}
+	half := float64(m) / 2
+	var pGreater, pLess float64
+	for k := 0; k <= m; k++ {
+		pmf := BinomPMF(m, p, k)
+		switch {
+		case float64(k) > half:
+			pGreater += pmf
+		case float64(k) < half:
+			pLess += pmf
+		}
+	}
+	return pGreater - pLess
+}
+
+// WeakOpinionTarget is the advantage the paper's protocols need each
+// weak-opinion to achieve: 1/2 + 4·√(log n / n) in Lemmas 28 and 36 reduces
+// to a sign advantage of 8·√(log n / n) for the underlying sum (Lemma 23).
+func WeakOpinionTarget(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return 8 * math.Sqrt(math.Log(float64(n))/float64(n))
+}

@@ -1,0 +1,270 @@
+// Package stats provides the probability and statistics substrate used by
+// the experiment harness and by statistical tests of the simulator:
+// sample summaries, binomial distribution functions, Wilson confidence
+// intervals, chi-square goodness-of-fit, concentration-bound helpers, and
+// the specific lemma functions of the paper's Section 5.1 (the Rademacher
+// success-probability lower bound of Lemmas 21–22).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a float64 sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) sample variance
+	StdDev   float64
+	Min      float64
+	Max      float64
+	Median   float64
+	P10      float64
+	P90      float64
+}
+
+// Summarize computes descriptive statistics. It returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+		s.StdDev = math.Sqrt(s.Variance)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P10 = Quantile(sorted, 0.1)
+	s.P90 = Quantile(sorted, 0.9)
+	return s
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation. It panics if the sample is empty or
+// q is outside [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Proportion is an estimated probability with a confidence interval.
+type Proportion struct {
+	Successes int
+	Trials    int
+	Estimate  float64
+	Lo, Hi    float64 // Wilson score interval bounds
+}
+
+// Wilson returns the Wilson score interval for a binomial proportion at the
+// given z value (z = 1.96 for 95%). It panics if trials <= 0.
+func Wilson(successes, trials int, z float64) Proportion {
+	if trials <= 0 {
+		panic("stats: Wilson with trials <= 0")
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / denom
+	out := Proportion{
+		Successes: successes,
+		Trials:    trials,
+		Estimate:  p,
+		Lo:        math.Max(0, center-half),
+		Hi:        math.Min(1, center+half),
+	}
+	// At the endpoints the exact interval limits are 0 and 1; pin them so
+	// floating-point round-off cannot leave the estimate outside.
+	if successes == 0 {
+		out.Lo = 0
+	}
+	if successes == trials {
+		out.Hi = 1
+	}
+	return out
+}
+
+// BinomPMF returns the Binomial(n, p) probability mass at k, computed in log
+// space for numerical stability.
+func BinomPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(n) + 1)
+	lk, _ := math.Lgamma(float64(k) + 1)
+	lnk, _ := math.Lgamma(float64(n-k) + 1)
+	return math.Exp(ln - lk - lnk + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// BinomCDF returns P(X ≤ k) for X ~ Binomial(n, p) by direct summation.
+// Intended for the moderate n used in tests and harness checks.
+func BinomCDF(n int, p float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	var sum float64
+	for i := 0; i <= k; i++ {
+		sum += BinomPMF(n, p, i)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// ChiSquare computes the chi-square statistic of observed counts against
+// expected counts, pooling consecutive bins until each pooled expected count
+// reaches minExpected (5 is customary). It returns the statistic and the
+// degrees of freedom (pooled bins − 1). It panics on length mismatch.
+func ChiSquare(observed []int, expected []float64, minExpected float64) (stat float64, df int) {
+	if len(observed) != len(expected) {
+		panic("stats: ChiSquare length mismatch")
+	}
+	var expAcc, obsAcc float64
+	df = -1
+	flush := func() {
+		if expAcc <= 0 {
+			return
+		}
+		d := obsAcc - expAcc
+		stat += d * d / expAcc
+		df++
+		expAcc, obsAcc = 0, 0
+	}
+	for i := range observed {
+		expAcc += expected[i]
+		obsAcc += float64(observed[i])
+		if expAcc >= minExpected {
+			flush()
+		}
+	}
+	flush()
+	if df < 0 {
+		df = 0
+	}
+	return stat, df
+}
+
+// ChiSquareCritical approximates the upper critical value of the chi-square
+// distribution with df degrees of freedom at tail probability alpha, using
+// the Wilson–Hilferty cube approximation. Accurate to a few percent for
+// df ≥ 3, which suffices for pass/fail testing at generous alpha.
+func ChiSquareCritical(df int, alpha float64) float64 {
+	if df <= 0 {
+		return 0
+	}
+	z := NormalQuantile(1 - alpha)
+	k := float64(df)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}
+
+// NormalQuantile returns the standard normal quantile Φ⁻¹(p) using the
+// Acklam rational approximation (relative error < 1.15e-9). It panics for
+// p outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: NormalQuantile(%v) outside (0,1)", p))
+	}
+	// Coefficients of the Acklam approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// HoeffdingTail returns the Chernoff–Hoeffding upper bound
+// exp(−2t²/n) on P(X ≥ E X + t) for a sum of n [0,1]-valued independent
+// variables (Theorem 42 of the paper's appendix).
+func HoeffdingTail(n int, t float64) float64 {
+	if n <= 0 || t <= 0 {
+		return 1
+	}
+	return math.Exp(-2 * t * t / float64(n))
+}
+
+// ChernoffLowerTail returns the multiplicative Chernoff bound
+// exp(−d²·mu/2) on P(X ≤ (1−d)·mu) (Theorem 41 of the paper's appendix).
+func ChernoffLowerTail(mu, d float64) float64 {
+	if d <= 0 || mu <= 0 {
+		return 1
+	}
+	if d > 1 {
+		d = 1
+	}
+	return math.Exp(-d * d * mu / 2)
+}
+
+// NormalCDF returns the standard normal distribution function Φ(x).
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

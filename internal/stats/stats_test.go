@@ -1,0 +1,433 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if math.Abs(s.Variance-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v", s.Variance)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Median-4.5) > 1e-12 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Median != 3 || s.Variance != 0 || s.Min != 3 || s.Max != 3 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Summarize mutated input: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Quantile did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWilson(t *testing.T) {
+	p := Wilson(80, 100, 1.96)
+	if p.Estimate != 0.8 {
+		t.Fatalf("Estimate = %v", p.Estimate)
+	}
+	if p.Lo >= p.Estimate || p.Hi <= p.Estimate {
+		t.Fatalf("interval [%v, %v] does not bracket estimate", p.Lo, p.Hi)
+	}
+	// Known Wilson 95% interval for 80/100 is roughly [0.711, 0.867].
+	if math.Abs(p.Lo-0.7112) > 0.005 || math.Abs(p.Hi-0.8666) > 0.005 {
+		t.Fatalf("interval [%v, %v] off the reference", p.Lo, p.Hi)
+	}
+	edge := Wilson(0, 10, 1.96)
+	if edge.Lo != 0 || edge.Hi <= 0 {
+		t.Fatalf("zero-success interval = [%v, %v]", edge.Lo, edge.Hi)
+	}
+	full := Wilson(10, 10, 1.96)
+	if full.Hi != 1 || full.Lo >= 1 {
+		t.Fatalf("all-success interval = [%v, %v]", full.Lo, full.Hi)
+	}
+}
+
+func TestWilsonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wilson(., 0, .) did not panic")
+		}
+	}()
+	Wilson(0, 0, 1.96)
+}
+
+func TestBinomPMFSumsToOne(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{10, 0.5}, {100, 0.1}, {37, 0.73}} {
+		var sum float64
+		for k := 0; k <= c.n; k++ {
+			pmf := BinomPMF(c.n, c.p, k)
+			if pmf < 0 {
+				t.Fatalf("negative PMF at n=%d p=%v k=%d", c.n, c.p, k)
+			}
+			sum += pmf
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("PMF sums to %v for n=%d p=%v", sum, c.n, c.p)
+		}
+	}
+}
+
+func TestBinomPMFKnown(t *testing.T) {
+	// Binomial(4, 0.5): {1,4,6,4,1}/16.
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		if got := BinomPMF(4, 0.5, k); math.Abs(got-w) > 1e-12 {
+			t.Errorf("BinomPMF(4, .5, %d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestBinomPMFEdges(t *testing.T) {
+	if BinomPMF(5, 0.5, -1) != 0 || BinomPMF(5, 0.5, 6) != 0 {
+		t.Fatal("out-of-range PMF nonzero")
+	}
+	if BinomPMF(5, 0, 0) != 1 || BinomPMF(5, 0, 1) != 0 {
+		t.Fatal("p=0 PMF wrong")
+	}
+	if BinomPMF(5, 1, 5) != 1 || BinomPMF(5, 1, 4) != 0 {
+		t.Fatal("p=1 PMF wrong")
+	}
+}
+
+func TestBinomCDF(t *testing.T) {
+	if got := BinomCDF(4, 0.5, 2); math.Abs(got-11.0/16) > 1e-12 {
+		t.Fatalf("BinomCDF(4, .5, 2) = %v", got)
+	}
+	if BinomCDF(4, 0.5, -1) != 0 {
+		t.Fatal("CDF below support nonzero")
+	}
+	if BinomCDF(4, 0.5, 4) != 1 || BinomCDF(4, 0.5, 9) != 1 {
+		t.Fatal("CDF above support not 1")
+	}
+}
+
+func TestBinomCDFMonotoneProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := float64(pRaw) / 255
+		prev := 0.0
+		for k := 0; k <= n; k++ {
+			c := BinomCDF(n, p, k)
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return math.Abs(prev-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChiSquarePerfectFit(t *testing.T) {
+	obs := []int{10, 20, 30, 40}
+	exp := []float64{10, 20, 30, 40}
+	stat, df := ChiSquare(obs, exp, 5)
+	if stat != 0 {
+		t.Fatalf("stat = %v", stat)
+	}
+	if df != 3 {
+		t.Fatalf("df = %d", df)
+	}
+}
+
+func TestChiSquarePoolsSmallBins(t *testing.T) {
+	obs := []int{1, 1, 1, 1, 1, 95}
+	exp := []float64{1, 1, 1, 1, 1, 95}
+	_, df := ChiSquare(obs, exp, 5)
+	// The five unit bins pool into one (sum 5), plus the big bin: 2 bins, df 1.
+	if df != 1 {
+		t.Fatalf("df = %d, want 1", df)
+	}
+}
+
+func TestChiSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	ChiSquare([]int{1}, []float64{1, 2}, 5)
+}
+
+func TestNormalQuantileKnown(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.841344746, 1.0},
+		{0.999, 3.090232},
+		{0.001, -3.090232},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestChiSquareCritical(t *testing.T) {
+	// Reference values: chi2.ppf(0.95, 10) = 18.307, chi2.ppf(0.99, 5) = 15.086.
+	if got := ChiSquareCritical(10, 0.05); math.Abs(got-18.307) > 0.4 {
+		t.Fatalf("critical(10, .05) = %v", got)
+	}
+	if got := ChiSquareCritical(5, 0.01); math.Abs(got-15.086) > 0.5 {
+		t.Fatalf("critical(5, .01) = %v", got)
+	}
+	if ChiSquareCritical(0, 0.05) != 0 {
+		t.Fatal("critical with df=0 nonzero")
+	}
+}
+
+func TestHoeffdingTail(t *testing.T) {
+	if got := HoeffdingTail(100, 10); math.Abs(got-math.Exp(-2)) > 1e-12 {
+		t.Fatalf("HoeffdingTail = %v", got)
+	}
+	if HoeffdingTail(0, 1) != 1 || HoeffdingTail(10, 0) != 1 {
+		t.Fatal("degenerate Hoeffding not 1")
+	}
+}
+
+func TestChernoffLowerTail(t *testing.T) {
+	if got := ChernoffLowerTail(8, 0.5); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("Chernoff = %v", got)
+	}
+	if ChernoffLowerTail(0, 0.5) != 1 || ChernoffLowerTail(8, 0) != 1 {
+		t.Fatal("degenerate Chernoff not 1")
+	}
+	if got, want := ChernoffLowerTail(8, 2), math.Exp(-4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Chernoff clamps d at 1: got %v want %v", got, want)
+	}
+}
+
+func TestBiasedCoinG(t *testing.T) {
+	// theta < 1/sqrt(m) branch.
+	got := BiasedCoinG(0.1, 9)
+	want := 0.1 * math.Pow(1-0.01, 4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("g(0.1, 9) = %v, want %v", got, want)
+	}
+	// theta >= 1/sqrt(m) branch.
+	got = BiasedCoinG(0.9, 4)
+	want = math.Pow(1-0.25, 1.5) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("g(0.9, 4) = %v, want %v", got, want)
+	}
+	if BiasedCoinG(-1, 5) != 0 || BiasedCoinG(0.1, 0) != 0 {
+		t.Fatal("degenerate g not 0")
+	}
+}
+
+// TestLemma22Holds verifies Lemma 22 numerically: the exact sign advantage
+// of a sum of m Rademacher(1/2+theta) variables dominates the bound
+// sqrt(2/(pi*e)) * min(sqrt(m)*theta, 1).
+func TestLemma22Holds(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 10, 25, 50, 101, 200} {
+		for _, theta := range []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.45, 0.5} {
+			exact := ExactSignAdvantage(m, theta)
+			bound := RademacherAdvantage(m, theta)
+			if exact < bound-1e-9 {
+				t.Errorf("Lemma 22 violated at m=%d theta=%v: exact %v < bound %v", m, theta, exact, bound)
+			}
+		}
+	}
+}
+
+func TestExactSignAdvantageEdges(t *testing.T) {
+	if ExactSignAdvantage(0, 0.1) != 0 {
+		t.Fatal("m=0 advantage nonzero")
+	}
+	// Single fair coin: advantage 2*theta.
+	if got := ExactSignAdvantage(1, 0.2); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("m=1 advantage = %v", got)
+	}
+	// theta = 1/2: certain win.
+	if got := ExactSignAdvantage(7, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("certain advantage = %v", got)
+	}
+}
+
+func TestWeakOpinionTarget(t *testing.T) {
+	if WeakOpinionTarget(1) != 1 {
+		t.Fatal("degenerate target")
+	}
+	got := WeakOpinionTarget(10000)
+	want := 8 * math.Sqrt(math.Log(10000)/10000)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("target = %v, want %v", got, want)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	fit, err := LinearFit([]float64{1, 2, 3, 4}, []float64{3, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 || math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point did not error")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch did not error")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("constant x did not error")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	fit, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Fatalf("constant-y fit = %+v", fit)
+	}
+}
+
+func TestLogLogFitPowerLaw(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x // y = 3 x^2
+	}
+	fit, err := LogLogFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-math.Log(3)) > 1e-9 {
+		t.Fatalf("log-log fit = %+v", fit)
+	}
+}
+
+func TestLogLogFitRejectsNonPositive(t *testing.T) {
+	if _, err := LogLogFit([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Error("zero x did not error")
+	}
+	if _, err := LogLogFit([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative y did not error")
+	}
+	if _, err := LogLogFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch did not error")
+	}
+}
+
+func TestSemiLogXFit(t *testing.T) {
+	xs := []float64{math.E, math.E * math.E, math.Pow(math.E, 3)}
+	ys := []float64{5, 7, 9} // y = 2 ln x + 3
+	fit, err := SemiLogXFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-3) > 1e-9 {
+		t.Fatalf("semilog fit = %+v", fit)
+	}
+	if _, err := SemiLogXFit([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero x did not error")
+	}
+	if _, err := SemiLogXFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch did not error")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959964, 0.975},
+		{-1.959964, 0.025},
+		{3, 0.998650},
+		{-3, 0.001350},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalCDFQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		if got := NormalCDF(NormalQuantile(p)); math.Abs(got-p) > 1e-6 {
+			t.Errorf("round trip at %v gives %v", p, got)
+		}
+	}
+}
