@@ -1,0 +1,57 @@
+package noisypull_test
+
+import (
+	"testing"
+
+	"noisypull"
+)
+
+// TestRunBatchFacade checks the public batch entry point: one result per
+// seed, each bit-identical to a standalone Run under that seed.
+func TestRunBatchFacade(t *testing.T) {
+	nm, err := noisypull.UniformNoise(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := noisypull.Config{
+		N: 120, H: 12, Sources1: 2, Sources0: 1,
+		Noise:        nm,
+		Protocol:     noisypull.NewSourceFilter(),
+		TrackHistory: true,
+		Workers:      2, // trials-in-flight for RunBatch
+	}
+	seeds := []uint64{11, 22, 33, 44, 55}
+	batch, err := noisypull.RunBatch(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(seeds) {
+		t.Fatalf("got %d results for %d seeds", len(batch), len(seeds))
+	}
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		c.Workers = 1
+		want, err := noisypull.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch[i]
+		if got.Rounds != want.Rounds || got.Converged != want.Converged ||
+			got.FinalCorrect != want.FinalCorrect || got.FirstAllCorrect != want.FirstAllCorrect ||
+			len(got.History) != len(want.History) {
+			t.Fatalf("seed %d: batch %+v != run %+v", seed, got, want)
+		}
+		for j := range want.History {
+			if got.History[j] != want.History[j] {
+				t.Fatalf("seed %d: history diverges at round %d", seed, j)
+			}
+		}
+	}
+}
+
+func TestRunBatchFacadeRejectsInvalid(t *testing.T) {
+	if _, err := noisypull.RunBatch(noisypull.Config{}, []uint64{1}); err == nil {
+		t.Fatal("RunBatch accepted empty config")
+	}
+}

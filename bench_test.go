@@ -1,193 +1,75 @@
 package noisypull_test
 
-// One benchmark per reproduction experiment (E1–E12, DESIGN.md §4): each
-// iteration regenerates the corresponding paper artifact at quick scale.
-// Run with:
+// One benchmark per reproduction experiment (E1–E19, DESIGN.md §4) plus the
+// ablation and engine benchmarks of DESIGN.md §3. Run with:
 //
 //	go test -bench=. -benchmem
 //
-// The Ablation* benchmarks quantify the design choices called out in
-// DESIGN.md §3: the aggregate multinomial observation backend vs exact
-// per-sample observation, and the cost of the Theorem 8 artificial-noise
-// path.
+// The bodies live in internal/bench so that cmd/bench (the standalone
+// trajectory harness writing BENCH_<date>.json) measures exactly the same
+// code; this file only binds them to go test's runner under stable names.
 
 import (
 	"testing"
 
-	"noisypull"
-	"noisypull/internal/experiment"
+	"noisypull/internal/bench"
 )
 
-// benchExperiment runs one registered experiment per iteration.
-func benchExperiment(b *testing.B, id string, trials int) {
-	b.Helper()
-	e, ok := experiment.ByID(id)
+func run(b *testing.B, name string) {
+	c, ok := bench.ByName(name)
 	if !ok {
-		b.Fatalf("unknown experiment %s", id)
+		b.Fatalf("unknown bench case %s", name)
 	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		art, err := e.Run(experiment.Options{
-			Scale:  experiment.ScaleQuick,
-			Trials: trials,
-			Seed:   uint64(i + 1),
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(art.Tables) == 0 && len(art.Series) == 0 {
-			b.Fatal("empty artifact")
-		}
-	}
+	c.F(b)
 }
 
-func BenchmarkE1FCurve(b *testing.B)     { benchExperiment(b, "E1", 1) }
-func BenchmarkE2LogTime(b *testing.B)    { benchExperiment(b, "E2", 2) }
-func BenchmarkE3SpeedupH(b *testing.B)   { benchExperiment(b, "E3", 1) }
-func BenchmarkE4NoiseSweep(b *testing.B) { benchExperiment(b, "E4", 2) }
-func BenchmarkE5BiasSweep(b *testing.B)  { benchExperiment(b, "E5", 2) }
-func BenchmarkE6Tightness(b *testing.B)  { benchExperiment(b, "E6", 1) }
-func BenchmarkE7SelfStab(b *testing.B)   { benchExperiment(b, "E7", 1) }
-func BenchmarkE8Overhead(b *testing.B)   { benchExperiment(b, "E8", 1) }
-func BenchmarkE9Plurality(b *testing.B)  { benchExperiment(b, "E9", 1) }
-func BenchmarkE10Reduction(b *testing.B) { benchExperiment(b, "E10", 1) }
-func BenchmarkE11Baselines(b *testing.B) { benchExperiment(b, "E11", 1) }
-func BenchmarkE12Separation(b *testing.B) {
-	benchExperiment(b, "E12", 1)
-}
-
-// benchRound measures a full SF run at the given shape, reporting
-// rounds/op via the protocol schedule.
-func benchRun(b *testing.B, n, h int, backend noisypull.Backend) {
-	b.Helper()
-	nm, err := noisypull.UniformNoise(2, 0.2)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		res, err := noisypull.Run(noisypull.Config{
-			N: n, H: h, Sources1: 1,
-			Noise:    nm,
-			Protocol: noisypull.NewSourceFilter(),
-			Seed:     uint64(i + 1),
-			Backend:  backend,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(res.Rounds), "rounds/op")
-	}
-}
+func BenchmarkE1FCurve(b *testing.B)       { run(b, "E1FCurve") }
+func BenchmarkE2LogTime(b *testing.B)      { run(b, "E2LogTime") }
+func BenchmarkE3SpeedupH(b *testing.B)     { run(b, "E3SpeedupH") }
+func BenchmarkE4NoiseSweep(b *testing.B)   { run(b, "E4NoiseSweep") }
+func BenchmarkE5BiasSweep(b *testing.B)    { run(b, "E5BiasSweep") }
+func BenchmarkE6Tightness(b *testing.B)    { run(b, "E6Tightness") }
+func BenchmarkE7SelfStab(b *testing.B)     { run(b, "E7SelfStab") }
+func BenchmarkE8Overhead(b *testing.B)     { run(b, "E8Overhead") }
+func BenchmarkE9Plurality(b *testing.B)    { run(b, "E9Plurality") }
+func BenchmarkE10Reduction(b *testing.B)   { run(b, "E10Reduction") }
+func BenchmarkE11Baselines(b *testing.B)   { run(b, "E11Baselines") }
+func BenchmarkE12Separation(b *testing.B)  { run(b, "E12Separation") }
+func BenchmarkE13Theory(b *testing.B)      { run(b, "E13Theory") }
+func BenchmarkE14Alternating(b *testing.B) { run(b, "E14Alternating") }
+func BenchmarkE15Backend(b *testing.B)     { run(b, "E15Backend") }
+func BenchmarkE16Calibration(b *testing.B) { run(b, "E16Calibration") }
+func BenchmarkE17Async(b *testing.B)       { run(b, "E17Async") }
+func BenchmarkE18Topology(b *testing.B)    { run(b, "E18Topology") }
+func BenchmarkE19Memory(b *testing.B)      { run(b, "E19Memory") }
 
 // AblationBackend compares the two observation backends at the same shape
 // (DESIGN.md §3 choice 1): the aggregate path costs O(|Σ|²) per agent-round
-// regardless of h, the exact path O(h).
-func BenchmarkAblationBackendExact(b *testing.B) {
-	benchRun(b, 256, 64, noisypull.BackendExact)
-}
-
-func BenchmarkAblationBackendAggregate(b *testing.B) {
-	benchRun(b, 256, 64, noisypull.BackendAggregate)
-}
-
-func BenchmarkAblationBackendExactHn(b *testing.B) {
-	benchRun(b, 256, 256, noisypull.BackendExact)
-}
-
-func BenchmarkAblationBackendAggregateHn(b *testing.B) {
-	benchRun(b, 256, 256, noisypull.BackendAggregate)
-}
+// regardless of h, the exact path O(h) — now O(h) alias draws from the
+// per-round mixture table.
+func BenchmarkAblationBackendExact(b *testing.B)       { run(b, "AblationBackendExact") }
+func BenchmarkAblationBackendAggregate(b *testing.B)   { run(b, "AblationBackendAggregate") }
+func BenchmarkAblationBackendExactHn(b *testing.B)     { run(b, "AblationBackendExactHn") }
+func BenchmarkAblationBackendAggregateHn(b *testing.B) { run(b, "AblationBackendAggregateHn") }
 
 // AblationArtificialNoise measures the overhead of the Theorem 8 reduction
-// path (per-message artificial re-randomization) against a uniform channel
-// of the same effective level.
-func BenchmarkAblationUniformChannel(b *testing.B) {
-	nm, err := noisypull.UniformNoise(2, 0.25)
-	if err != nil {
-		b.Fatal(err)
-	}
-	benchChannel(b, nm)
-}
+// path against a uniform channel of the same effective level.
+func BenchmarkAblationUniformChannel(b *testing.B) { run(b, "AblationUniformChannel") }
+func BenchmarkAblationReducedChannel(b *testing.B) { run(b, "AblationReducedChannel") }
 
-func BenchmarkAblationReducedChannel(b *testing.B) {
-	nm, err := noisypull.AsymmetricNoise(0.1, 0.2)
-	if err != nil {
-		b.Fatal(err)
-	}
-	benchChannel(b, nm)
-}
-
-func benchChannel(b *testing.B, nm *noisypull.NoiseMatrix) {
-	b.Helper()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := noisypull.Run(noisypull.Config{
-			N: 256, H: 64, Sources1: 1,
-			Noise:    nm,
-			Protocol: noisypull.NewSourceFilter(),
-			Seed:     uint64(i + 1),
-		}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkReduceNoise measures the Theorem 8 decomposition itself
-// (matrix inversion + product + validation) on a 4-symbol channel.
-func BenchmarkReduceNoise(b *testing.B) {
-	nm, err := noisypull.NoiseFromRows([][]float64{
-		{0.85, 0.05, 0.04, 0.06},
-		{0.02, 0.90, 0.05, 0.03},
-		{0.06, 0.01, 0.88, 0.05},
-		{0.03, 0.04, 0.02, 0.91},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := noisypull.ReduceNoise(nm); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkE13Theory(b *testing.B)      { benchExperiment(b, "E13", 2) }
-func BenchmarkE14Alternating(b *testing.B) { benchExperiment(b, "E14", 2) }
-func BenchmarkE15Backend(b *testing.B)     { benchExperiment(b, "E15", 6) }
-func BenchmarkE16Calibration(b *testing.B) { benchExperiment(b, "E16", 3) }
+// BenchmarkReduceNoise measures the Theorem 8 decomposition itself.
+func BenchmarkReduceNoise(b *testing.B) { run(b, "ReduceNoise") }
 
 // BenchmarkLargeScaleHn showcases the aggregate backend at population
 // scale: every one of 20k agents observes all 20k agents every round.
-// A naive per-sample simulator would need 4·10⁸ draws per round; the
-// aggregate backend runs the whole protocol in seconds.
-func BenchmarkLargeScaleHn(b *testing.B) {
-	const n = 20000
-	nm, err := noisypull.UniformNoise(2, 0.2)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		res, err := noisypull.Run(noisypull.Config{
-			N: n, H: n, Sources1: 1,
-			Noise:    nm,
-			Protocol: noisypull.NewSourceFilter(),
-			Seed:     uint64(i + 1),
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !res.Converged {
-			b.Fatalf("large-scale run failed: %d/%d", res.FinalCorrect, n)
-		}
-		b.ReportMetric(float64(res.Rounds), "rounds/op")
-	}
-}
+func BenchmarkLargeScaleHn(b *testing.B) { run(b, "LargeScaleHn") }
 
-func BenchmarkE17Async(b *testing.B) { benchExperiment(b, "E17", 2) }
+// BenchmarkRunBatch vs BenchmarkRunBatchSequentialBaseline: the batched
+// entry point (runner reuse via Reset) against per-trial noisypull.Run over
+// the same seeds. Compare the ns/trial metric.
+func BenchmarkRunBatch(b *testing.B)                   { run(b, "RunBatch") }
+func BenchmarkRunBatchSequentialBaseline(b *testing.B) { run(b, "RunBatchSequentialBaseline") }
 
-func BenchmarkE18Topology(b *testing.B) { benchExperiment(b, "E18", 2) }
-
-func BenchmarkE19Memory(b *testing.B) { benchExperiment(b, "E19", 1) }
+// BenchmarkTopologyExact exercises the graph-restricted exact backend with
+// the cached per-neighborhood mixture sampler.
+func BenchmarkTopologyExact(b *testing.B) { run(b, "TopologyExact") }

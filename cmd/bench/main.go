@@ -1,0 +1,160 @@
+// Command bench runs the repository benchmark suite (internal/bench — the
+// same cases go test -bench executes) outside the test runner and writes a
+// machine-readable trajectory file, so performance can be tracked commit to
+// commit by diffing BENCH_<date>.json files at the repo root.
+//
+//	bench                              # full suite -> BENCH_<today>.json
+//	bench -filter 'Ablation|RunBatch'  # subset by regexp
+//	bench -baseline BENCH_old.json     # embed old numbers + speedups
+//	bench -list                        # print case names and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"noisypull/internal/bench"
+)
+
+// Record is one benchmark measurement in the output file.
+type Record struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Iterations  int                `json:"iterations"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+
+	// Filled in when -baseline is given and the baseline file has this case.
+	Baseline *Record `json:"baseline,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op (>1 = faster now).
+	Speedup float64 `json:"speedup,omitempty"`
+	// AllocsRatio is current allocs/op divided by baseline allocs/op.
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+}
+
+// File is the schema of BENCH_<date>.json.
+type File struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		filter   = fs.String("filter", ".", "regexp selecting case names to run")
+		outPath  = fs.String("out", "", "output file (default BENCH_<today>.json)")
+		baseline = fs.String("baseline", "", "prior BENCH_*.json to compare against")
+		list     = fs.Bool("list", false, "list case names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	re, err := regexp.Compile(*filter)
+	if err != nil {
+		return fmt.Errorf("bad -filter: %w", err)
+	}
+	if *list {
+		for _, c := range bench.Suite() {
+			if re.MatchString(c.Name) {
+				fmt.Fprintln(out, c.Name)
+			}
+		}
+		return nil
+	}
+
+	var base map[string]Record
+	if *baseline != "" {
+		if base, err = loadBaseline(*baseline); err != nil {
+			return err
+		}
+	}
+
+	file := File{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range bench.Suite() {
+		if !re.MatchString(c.Name) {
+			continue
+		}
+		fmt.Fprintf(out, "%-28s ", c.Name)
+		res := testing.Benchmark(c.F)
+		rec := Record{
+			Name:        c.Name,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Iterations:  res.N,
+			Extra:       res.Extra,
+		}
+		fmt.Fprintf(out, "%12.0f ns/op %10d B/op %8d allocs/op",
+			rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+		if b, ok := base[c.Name]; ok {
+			bc := b
+			rec.Baseline = &bc
+			if rec.NsPerOp > 0 {
+				rec.Speedup = b.NsPerOp / rec.NsPerOp
+			}
+			if b.AllocsPerOp > 0 {
+				rec.AllocsRatio = float64(rec.AllocsPerOp) / float64(b.AllocsPerOp)
+			}
+			fmt.Fprintf(out, "  %5.2fx vs baseline", rec.Speedup)
+		}
+		fmt.Fprintln(out)
+		file.Benchmarks = append(file.Benchmarks, rec)
+	}
+	if len(file.Benchmarks) == 0 {
+		return fmt.Errorf("no cases match -filter %q", *filter)
+	}
+
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + file.Date + ".json"
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "wrote", path)
+	return nil
+}
+
+// loadBaseline indexes a prior output file by case name.
+func loadBaseline(path string) (map[string]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	m := make(map[string]Record, len(f.Benchmarks))
+	for _, r := range f.Benchmarks {
+		r.Baseline = nil // do not chain baselines across generations
+		m[r.Name] = r
+	}
+	return m, nil
+}

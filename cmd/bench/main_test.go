@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListMatchesFilter(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list", "-filter", "RunBatch"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Fields(sb.String())
+	want := []string{"RunBatch", "RunBatchSequentialBaseline"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("list = %v, want %v", got, want)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-filter", "["}, &sb); err == nil {
+		t.Fatal("bad regexp accepted")
+	}
+	if err := run([]string{"-filter", "NoSuchCase"}, &sb); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+	if err := run([]string{"-baseline", "/does/not/exist.json", "-filter", "ReduceNoise"}, &sb); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
+// TestRunWritesFile runs the cheapest real case end to end, with a synthetic
+// baseline, and checks the JSON schema round-trips with deltas attached.
+func TestRunWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	baseFile := File{
+		Date:       "2000-01-01",
+		Benchmarks: []Record{{Name: "ReduceNoise", NsPerOp: 1e12, AllocsPerOp: 1 << 40}},
+	}
+	data, err := json.Marshal(baseFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(dir, "out.json")
+	var sb strings.Builder
+	if err := run([]string{
+		"-filter", "^ReduceNoise$",
+		"-out", outPath,
+		"-baseline", basePath,
+	}, &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "ReduceNoise" {
+		t.Fatalf("unexpected file contents: %+v", f)
+	}
+	rec := f.Benchmarks[0]
+	if rec.NsPerOp <= 0 || rec.Iterations <= 0 {
+		t.Fatalf("implausible measurement: %+v", rec)
+	}
+	if rec.Baseline == nil || rec.Baseline.NsPerOp != 1e12 {
+		t.Fatalf("baseline not embedded: %+v", rec)
+	}
+	if rec.Speedup <= 1 || rec.AllocsRatio <= 0 {
+		t.Fatalf("deltas not computed: speedup=%v allocsRatio=%v", rec.Speedup, rec.AllocsRatio)
+	}
+	if f.GoVersion == "" || f.GOMAXPROCS <= 0 {
+		t.Fatalf("environment metadata missing: %+v", f)
+	}
+}

@@ -62,6 +62,13 @@ func (b *trialBatch) Wilson95() stats.Proportion {
 // concurrently on opts.Parallel goroutines with single-worker simulations,
 // keeping total CPU use at the configured level while staying fully
 // deterministic (each trial's behaviour depends only on its seed).
+//
+// Each worker goroutine keeps one runner and rewinds it with Reset between
+// trials whenever consecutive configurations are identical up to the seed
+// (the common case: grid-point closures reuse their noise matrix, protocol,
+// and topology), so the experiment grids do not pay population construction
+// and channel building per trial. Configurations that genuinely differ (for
+// example per-trial random graphs) fall back to a fresh runner.
 func runTrials(opts Options, gridPoint, trials int, makeCfg func(seed uint64) sim.Config) (*trialBatch, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("experiment: trials = %d", trials)
@@ -82,13 +89,21 @@ func runTrials(opts Options, gridPoint, trials int, makeCfg func(seed uint64) si
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var runner *sim.Runner
+			var runnerCfg sim.Config
 			for t := range next {
 				cfg := makeCfg(trialSeed(opts.Seed, gridPoint, t))
 				cfg.Workers = 1
-				runner, err := sim.New(cfg)
-				if err != nil {
-					errs[t] = err
-					continue
+				if runner != nil && runnerCfg.ResetCompatible(&cfg) {
+					runner.Reset(cfg.Seed)
+				} else {
+					var err error
+					if runner, err = sim.New(cfg); err != nil {
+						errs[t] = err
+						runner = nil
+						continue
+					}
+					runnerCfg = cfg
 				}
 				results[t], errs[t] = runner.Run()
 			}

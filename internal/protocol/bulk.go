@@ -1,0 +1,121 @@
+package protocol
+
+import (
+	"fmt"
+
+	"noisypull/internal/sim"
+)
+
+// This file implements sim.BulkProtocol for every built-in protocol: the
+// whole population is backed by a single slab allocation, and per-run
+// derived parameters (SF's phase schedule, SSF's update quota) are computed
+// once instead of once per agent. At population scale this turns the n
+// agent allocations of a trial into two and makes runner construction —
+// and Runner.Reset between batch trials — O(n) with a tiny constant.
+//
+// Each NewAgents must stay indistinguishable from calling NewAgent for
+// every id in order; the sim package's determinism tests cross-check the
+// two paths.
+
+var (
+	_ sim.BulkProtocol = (*SF)(nil)
+	_ sim.BulkProtocol = (*SSF)(nil)
+	_ sim.BulkProtocol = Voter{}
+	_ sim.BulkProtocol = MajorityRule{}
+	_ sim.BulkProtocol = TrustBit{}
+)
+
+// NewAgents implements sim.BulkProtocol.
+func (p *SF) NewAgents(n int, env sim.Env, role func(id int) sim.Role) []sim.Agent {
+	m, t, w, l, err := p.params(env)
+	if err != nil {
+		// Same contract as NewAgent: the engine validates via Check/Rounds
+		// first, so reaching here means the caller skipped validation.
+		panic(fmt.Sprintf("protocol: SF.NewAgents with invalid env: %v", err))
+	}
+	slab := make([]sfAgent, n)
+	agents := make([]sim.Agent, n)
+	for i := range slab {
+		a := &slab[i]
+		a.role = role(i)
+		a.env = env
+		a.m, a.phaseT, a.boostW, a.boostL = m, t, w, l
+		a.alt = p.alternating
+		if a.role.IsSource {
+			a.opinion = a.role.Preference
+		}
+		agents[i] = a
+	}
+	return agents
+}
+
+// NewAgents implements sim.BulkProtocol.
+func (p *SSF) NewAgents(n int, env sim.Env, role func(id int) sim.Role) []sim.Agent {
+	m, err := p.quota(env)
+	if err != nil {
+		panic(fmt.Sprintf("protocol: SSF.NewAgents with invalid env: %v", err))
+	}
+	slab := make([]ssfAgent, n)
+	agents := make([]sim.Agent, n)
+	for i := range slab {
+		a := &slab[i]
+		a.role = role(i)
+		a.m = m
+		if a.role.IsSource {
+			a.opinion = a.role.Preference
+			a.weakOpinion = a.role.Preference
+		}
+		agents[i] = a
+	}
+	return agents
+}
+
+// NewAgents implements sim.BulkProtocol.
+func (Voter) NewAgents(n int, env sim.Env, role func(id int) sim.Role) []sim.Agent {
+	slab := make([]voterAgent, n)
+	agents := make([]sim.Agent, n)
+	for i := range slab {
+		a := &slab[i]
+		a.role = role(i)
+		if a.role.IsSource {
+			a.opinion = a.role.Preference
+		}
+		agents[i] = a
+	}
+	return agents
+}
+
+// NewAgents implements sim.BulkProtocol.
+func (MajorityRule) NewAgents(n int, env sim.Env, role func(id int) sim.Role) []sim.Agent {
+	slab := make([]majorityAgent, n)
+	agents := make([]sim.Agent, n)
+	for i := range slab {
+		a := &slab[i]
+		a.role = role(i)
+		if a.role.IsSource {
+			a.opinion = a.role.Preference
+		} else {
+			a.opinion = i % 2
+		}
+		agents[i] = a
+	}
+	return agents
+}
+
+// NewAgents implements sim.BulkProtocol.
+func (TrustBit) NewAgents(n int, env sim.Env, role func(id int) sim.Role) []sim.Agent {
+	slab := make([]trustBitAgent, n)
+	agents := make([]sim.Agent, n)
+	for i := range slab {
+		a := &slab[i]
+		a.role = role(i)
+		if a.role.IsSource {
+			a.opinion = a.role.Preference
+			a.informed = true
+		} else {
+			a.opinion = i % 2
+		}
+		agents[i] = a
+	}
+	return agents
+}

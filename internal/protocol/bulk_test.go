@@ -1,0 +1,49 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"noisypull/internal/sim"
+)
+
+// TestBulkMatchesPerAgent checks the slab-allocated NewAgents path against
+// id-by-id NewAgent for every built-in protocol: the constructed agents must
+// be indistinguishable, since the engine picks whichever path the protocol
+// offers and seeded runs must not depend on that choice.
+func TestBulkMatchesPerAgent(t *testing.T) {
+	env := sim.Env{N: 64, H: 8, Alphabet: 2, Delta: 0.2, Sources: 4, Bias: 2}
+	role := func(id int) sim.Role {
+		switch {
+		case id < 3:
+			return sim.Role{IsSource: true, Preference: 1}
+		case id == 3:
+			return sim.Role{IsSource: true, Preference: 0}
+		default:
+			return sim.Role{}
+		}
+	}
+
+	protocols := map[string]sim.BulkProtocol{
+		"SF":            NewSF(),
+		"AlternatingSF": NewSFAlternating(),
+		"SSF":           NewSSF(),
+		"Voter":         Voter{},
+		"MajorityRule":  MajorityRule{},
+		"TrustBit":      TrustBit{},
+	}
+	for name, p := range protocols {
+		env := env
+		env.Alphabet = p.Alphabet()
+		bulk := p.NewAgents(env.N, env, role)
+		if len(bulk) != env.N {
+			t.Fatalf("%s: NewAgents returned %d agents", name, len(bulk))
+		}
+		for i := 0; i < env.N; i++ {
+			single := p.NewAgent(i, role(i), env)
+			if !reflect.DeepEqual(bulk[i], single) {
+				t.Fatalf("%s: agent %d differs: bulk %+v vs single %+v", name, i, bulk[i], single)
+			}
+		}
+	}
+}

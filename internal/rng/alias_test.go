@@ -1,0 +1,72 @@
+package rng
+
+import "testing"
+
+// TestAliasInitReuse verifies that rebuilding an Alias in place via Init
+// produces exactly the tables a fresh NewAlias would, including when the
+// reused table previously held a different size or distribution.
+func TestAliasInitReuse(t *testing.T) {
+	cases := [][]float64{
+		{1, 2, 3, 4},
+		{5},
+		{0, 0, 5, 0},
+		{0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25, 0.25},
+		{1e-9, 1, 1e9},
+	}
+	var reused Alias
+	for _, w := range cases {
+		fresh, err := NewAlias(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reused.Init(w); err != nil {
+			t.Fatal(err)
+		}
+		if reused.Len() != fresh.Len() {
+			t.Fatalf("weights %v: Len %d vs %d", w, reused.Len(), fresh.Len())
+		}
+		// Identical tables imply identical sampling for any RNG state.
+		for i := 0; i < fresh.Len(); i++ {
+			if reused.prob[i] != fresh.prob[i] || reused.alias[i] != fresh.alias[i] {
+				t.Fatalf("weights %v: table row %d differs: (%v,%d) vs (%v,%d)",
+					w, i, reused.prob[i], reused.alias[i], fresh.prob[i], fresh.alias[i])
+			}
+		}
+	}
+}
+
+// TestAliasInitRejectsBadWeights mirrors the NewAlias error cases and checks
+// a failed Init leaves the table unusable rather than half-updated.
+func TestAliasInitRejectsBadWeights(t *testing.T) {
+	var a Alias
+	if err := a.Init(nil); err == nil {
+		t.Error("Init(nil) did not error")
+	}
+	if err := a.Init([]float64{0, 0}); err == nil {
+		t.Error("Init(all-zero) did not error")
+	}
+	if err := a.Init([]float64{1, -1}); err == nil {
+		t.Error("Init(negative) did not error")
+	}
+}
+
+// BenchmarkAliasInitReuse measures the steady-state rebuild cost (the hot
+// path of the per-round mixture table).
+func BenchmarkAliasInitReuse(b *testing.B) {
+	w := make([]float64, 64)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	var a Alias
+	if err := a.Init(w); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w[i%64] = float64(i%97 + 1)
+		if err := a.Init(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

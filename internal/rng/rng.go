@@ -53,9 +53,17 @@ func New(seed uint64) *Stream {
 // material is passed through two rounds of splitmix64 mixing so that
 // adjacent ids do not produce correlated states.
 func Derive(seed, id uint64) *Stream {
+	return New(DeriveSeed(seed, id))
+}
+
+// DeriveSeed returns the mixed seed that Derive(seed, id) expands into
+// stream state. It lets callers reinitialize an existing Stream in place
+// (stream.Reseed(DeriveSeed(seed, id))) without allocating, which is what
+// makes simulation runners reusable across trials.
+func DeriveSeed(seed, id uint64) uint64 {
 	v1, _ := SplitMix64(seed ^ 0x8f1bbcdcbfa53e0b)
 	v2, _ := SplitMix64(id ^ 0x2545f4914f6cdd1d)
-	return New(v1 ^ (v2 * 0xd6e8feb86659fd93))
+	return v1 ^ (v2 * 0xd6e8feb86659fd93)
 }
 
 // Reseed resets the stream state from seed.

@@ -1,32 +1,62 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"noisypull/internal/noise"
 	"noisypull/internal/rng"
 )
 
-// Runner executes one configured simulation. Create it with New and run it
-// with Run; a Runner is single-use.
+// Runner executes one configured simulation. Create it with New, run it with
+// Run, and rewind it with Reset to run further trials over the same
+// allocations. All buffers, RNG streams, alias tables, and worker goroutines
+// are provisioned at construction, so steady-state rounds allocate nothing
+// and spawn nothing.
 type Runner struct {
 	cfg     Config
 	env     Env
 	agents  []Agent
-	streams []*rng.Stream
-	channel *noise.Channel
-	artif   *noise.Channel
+	streams []rng.Stream
+	channel *noise.Channel // effective channel: Noise composed with Artificial
+	effRows [][]float64    // effective matrix rows, for mixture building
 	backend Backend
+	workers int
+	correct int // the correct opinion (plurality source preference)
 
-	displays []int     // symbol displayed by each agent this round
-	counts   []int     // population display counts per symbol
-	probs    []float64 // counts as float64, reused as multinomial weights
+	// Per-round shared state, written only at barriers.
+	needDisplays bool      // topology runs need the display vector
+	displays     []int     // symbol displayed by each agent this round
+	counts       []int     // population display counts per symbol
+	probs        []float64 // counts as float64, reused as multinomial weights
+	mixW         []float64 // weights scratch for mix
+	mix          rng.Alias // complete-graph exact: display→observation mixture
+
+	scratch []workerScratch
+	pool    *pool
+	ran     bool // Run consumed since the last New/Reset
+}
+
+// workerScratch is the preallocated private state of one worker: its agent
+// range, Phase A count shard, and Phase B observation buffers. Buffers are
+// separate allocations (padded to a cache line) so parallel workers do not
+// false-share.
+type workerScratch struct {
+	lo, hi   int
+	shard    []int // Phase A per-symbol display counts over [lo, hi)
+	sampled  []int // aggregate backend: multinomial sample buffer
+	observed []int // per-agent observation counts handed to Observe
+	nbrCnt   []int // topology: neighborhood display counts
+	nbrW     []float64
+	nbrMix   rng.Alias // topology: per-neighborhood observation mixture
+	partial  int       // Phase B correct-opinion count over [lo, hi)
+	err      error     // first Phase A protocol violation, if any
 }
 
 // New validates cfg, instantiates the population (assigning roles and
-// applying any adversarial corruption), and returns a ready Runner.
+// applying any adversarial corruption), provisions all per-round scratch and
+// the persistent worker pool, and returns a ready Runner.
 func New(cfg Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -39,48 +69,139 @@ func New(cfg Config) (*Runner, error) {
 			backend = BackendAggregate
 		}
 	}
-	ch, err := noise.NewChannel(cfg.Noise)
+	// Fold the artificial channel (Theorem 8) into the communication channel
+	// once: a sample pushed through N and then P is distributed exactly as
+	// one pushed through N·P, so the hot loops apply a single composed
+	// channel instead of two.
+	eff := cfg.Noise
+	if cfg.Artificial != nil {
+		var err error
+		eff, err = noise.Compose(cfg.Noise, cfg.Artificial)
+		if err != nil {
+			return nil, fmt.Errorf("sim: composing artificial noise: %w", err)
+		}
+	}
+	ch, err := noise.NewChannel(eff)
 	if err != nil {
 		return nil, fmt.Errorf("sim: building noise channel: %w", err)
 	}
-	var art *noise.Channel
-	if cfg.Artificial != nil {
-		art, err = noise.NewChannel(cfg.Artificial)
-		if err != nil {
-			return nil, fmt.Errorf("sim: building artificial channel: %w", err)
-		}
-	}
 
 	env := cfg.Env()
-	r := &Runner{
-		cfg:      cfg,
-		env:      env,
-		agents:   make([]Agent, cfg.N),
-		streams:  make([]*rng.Stream, cfg.N),
-		channel:  ch,
-		artif:    art,
-		backend:  backend,
-		displays: make([]int, cfg.N),
-		counts:   make([]int, env.Alphabet),
-		probs:    make([]float64, env.Alphabet),
+	d := env.Alphabet
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.N {
+		workers = cfg.N
 	}
 
-	correct := cfg.CorrectOpinion()
-	wrong := 1 - correct
-	for i := 0; i < cfg.N; i++ {
-		role := roleOf(i, cfg.Sources1, cfg.Sources0)
-		r.streams[i] = rng.Derive(cfg.Seed, uint64(i))
-		r.agents[i] = cfg.Protocol.NewAgent(i, role, env)
-		if s, ok := r.agents[i].(Seeder); ok {
-			s.SeedInit(r.streams[i])
+	r := &Runner{
+		cfg:          cfg,
+		env:          env,
+		streams:      make([]rng.Stream, cfg.N),
+		channel:      ch,
+		effRows:      make([][]float64, d),
+		backend:      backend,
+		workers:      workers,
+		correct:      cfg.CorrectOpinion(),
+		needDisplays: cfg.Topology != nil,
+		counts:       make([]int, d),
+		probs:        make([]float64, d),
+		mixW:         make([]float64, d),
+		scratch:      make([]workerScratch, workers),
+	}
+	for sigma := 0; sigma < d; sigma++ {
+		r.effRows[sigma] = eff.Row(sigma)
+	}
+	if r.needDisplays {
+		r.displays = make([]int, cfg.N)
+	}
+	// dPad rounds buffer lengths up to a cache line so the heavily written
+	// per-worker shards of adjacent workers never share one.
+	dPad := (d + 7) &^ 7
+	chunk := (cfg.N + workers - 1) / workers
+	for w := range r.scratch {
+		s := &r.scratch[w]
+		s.lo = w * chunk
+		s.hi = s.lo + chunk
+		if s.hi > cfg.N {
+			s.hi = cfg.N
+		}
+		if s.lo > cfg.N {
+			s.lo = cfg.N
+		}
+		s.shard = make([]int, dPad)[:d]
+		s.sampled = make([]int, dPad)[:d]
+		s.observed = make([]int, dPad)[:d]
+		if r.needDisplays {
+			s.nbrCnt = make([]int, dPad)[:d]
+			s.nbrW = make([]float64, d)
+		}
+	}
+	r.initPopulation()
+	if workers > 1 {
+		r.pool = newPool(workers)
+		// Safety net: reclaim the pool goroutines if the caller forgets
+		// Close. The workers reference only the pool (p.r is nil while
+		// idle), so an abandoned Runner does become unreachable.
+		runtime.SetFinalizer(r, (*Runner).Close)
+	}
+	return r, nil
+}
+
+// initPopulation (re)derives every agent's RNG stream and (re)builds the
+// agents, applying seeded initialization and adversarial corruption. It is
+// the shared construction path of New and Reset, so a Reset runner is
+// bit-identical to a fresh one.
+func (r *Runner) initPopulation() {
+	cfg := &r.cfg
+	for i := range r.streams {
+		r.streams[i].Reseed(rng.DeriveSeed(cfg.Seed, uint64(i)))
+	}
+	role := func(id int) Role { return roleOf(id, cfg.Sources1, cfg.Sources0) }
+	if bp, ok := cfg.Protocol.(BulkProtocol); ok {
+		r.agents = bp.NewAgents(cfg.N, r.env, role)
+	} else {
+		if r.agents == nil {
+			r.agents = make([]Agent, cfg.N)
+		}
+		for i := range r.agents {
+			r.agents[i] = cfg.Protocol.NewAgent(i, role(i), r.env)
+		}
+	}
+	wrong := 1 - r.correct
+	for i, a := range r.agents {
+		if s, ok := a.(Seeder); ok {
+			s.SeedInit(&r.streams[i])
 		}
 		if cfg.Corruption != CorruptNone {
-			if c, ok := r.agents[i].(Corruptible); ok {
-				c.Corrupt(cfg.Corruption, wrong, r.streams[i])
+			if c, ok := a.(Corruptible); ok {
+				c.Corrupt(cfg.Corruption, wrong, &r.streams[i])
 			}
 		}
 	}
-	return r, nil
+}
+
+// Reset rewinds the runner to a freshly constructed state under the given
+// seed: RNG streams are re-derived, agents are rebuilt, and run bookkeeping
+// is cleared, exactly as if New had been called with the same configuration
+// and the new seed — but reusing the runner's allocations and worker pool.
+func (r *Runner) Reset(seed uint64) {
+	r.cfg.Seed = seed
+	r.ran = false
+	r.initPopulation()
+}
+
+// Close releases the worker pool goroutines. Calling it is optional — a GC
+// finalizer performs the same cleanup when an un-Closed Runner becomes
+// unreachable — but deterministic release is cheaper than waiting for the
+// collector. Close is idempotent; a closed Runner must not be Run again.
+func (r *Runner) Close() {
+	if r.pool != nil {
+		r.pool.close()
+		runtime.SetFinalizer(r, nil)
+	}
 }
 
 // roleOf assigns roles deterministically: agents [0, s1) are 1-sources,
@@ -110,8 +231,13 @@ func (r *Runner) Backend() Backend { return r.backend }
 
 // Run executes rounds until the protocol finishes (finite protocols), the
 // population has been all-correct for the stability window (infinite
-// protocols), or MaxRounds elapse. It is not safe to call twice.
+// protocols), or MaxRounds elapse. A Runner runs once per New or Reset;
+// calling Run again without a Reset is an error.
 func (r *Runner) Run() (*Result, error) {
+	if r.ran {
+		return nil, errors.New("sim: Runner.Run called again without Reset")
+	}
+	r.ran = true
 	cfg := &r.cfg
 	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
@@ -130,7 +256,7 @@ func (r *Runner) Run() (*Result, error) {
 		}
 	}
 
-	res := &Result{CorrectOpinion: cfg.CorrectOpinion()}
+	res := &Result{CorrectOpinion: r.correct}
 	if cfg.TrackHistory {
 		capRounds := maxRounds
 		if finiteRounds > 0 && finiteRounds < capRounds {
@@ -142,17 +268,17 @@ func (r *Runner) Run() (*Result, error) {
 		res.History = make([]int, 0, capRounds)
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.N {
-		workers = cfg.N
+	if r.pool != nil {
+		r.pool.attach(r)
+		defer r.pool.detach()
 	}
 
 	stable := 0
 	for round := 1; round <= maxRounds; round++ {
-		correctCount := r.step(workers)
+		correctCount, err := r.step()
+		if err != nil {
+			return nil, fmt.Errorf("sim: round %d: %w", round, err)
+		}
 		res.Rounds = round
 		res.FinalCorrect = correctCount
 		if cfg.TrackHistory {
@@ -185,114 +311,183 @@ func (r *Runner) Run() (*Result, error) {
 			return res, nil
 		}
 	}
-	res.Converged = finiteRounds > 0 && res.Rounds >= finiteRounds && res.FinalCorrect == cfg.N
+	// Reaching here means the round budget ran out before the protocol's
+	// own termination condition (finite schedule or stability window), so
+	// the run did not converge; res.Converged keeps its zero value.
 	return res, nil
 }
 
 // step executes one synchronous round and returns the number of agents
-// holding the correct opinion at its end.
-func (r *Runner) step(workers int) int {
-	n := r.cfg.N
-	d := r.env.Alphabet
-
-	// Phase A: snapshot displays and their counts.
-	for i := range r.counts {
-		r.counts[i] = 0
+// holding the correct opinion at its end. It performs no allocations and
+// spawns no goroutines: both phases run on the persistent worker pool with
+// preallocated scratch.
+func (r *Runner) step() (int, error) {
+	// Phase A: snapshot displays, counting symbols in per-worker shards.
+	if r.pool != nil {
+		r.pool.dispatch(phaseSnapshot)
+	} else {
+		r.snapshotRange(0)
 	}
-	for i, a := range r.agents {
-		s := a.Display()
-		if s < 0 || s >= d {
-			panic(fmt.Sprintf("sim: agent %d displayed symbol %d outside alphabet %d", i, s, d))
-		}
-		r.displays[i] = s
-		r.counts[s]++
-	}
-	for i, c := range r.counts {
-		r.probs[i] = float64(c)
+	if err := r.mergeSnapshot(); err != nil {
+		return 0, err
 	}
 
-	// Phase B: observe and update, in parallel, with per-worker scratch.
-	correct := r.cfg.CorrectOpinion()
-	partial := make([]int, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			sampled := make([]int, d)
-			inter := make([]int, d)
-			observed := make([]int, d)
-			count := 0
-			for i := lo; i < hi; i++ {
-				r.observe(i, sampled, inter, observed)
-				r.agents[i].Observe(observed, r.streams[i])
-				if r.agents[i].Opinion() == correct {
-					count++
-				}
-			}
-			partial[w] = count
-		}(w, lo, hi)
+	// Phase B: observe and update every agent.
+	if r.pool != nil {
+		r.pool.dispatch(phaseObserve)
+	} else {
+		r.observeRange(0)
 	}
-	wg.Wait()
-
 	total := 0
-	for _, c := range partial {
-		total += c
+	for w := range r.scratch {
+		total += r.scratch[w].partial
 	}
-	return total
+	return total, nil
 }
 
-// observe fills observed with agent i's per-symbol observation counts for
-// this round, using the selected backend. sampled, inter, and observed are
-// scratch buffers of alphabet size.
-func (r *Runner) observe(i int, sampled, inter, observed []int) {
-	stream := r.streams[i]
+// snapshotRange is Phase A for worker w's agent range: record displays (when
+// a topology needs them) and count displayed symbols into the worker's
+// shard. A protocol returning a symbol outside the alphabet is recorded as
+// an error rather than a panic; the offending symbol is counted as 0 to keep
+// the engine state sane until the coordinator aborts the round.
+func (r *Runner) snapshotRange(w int) {
+	s := &r.scratch[w]
+	d := r.env.Alphabet
+	shard := s.shard
+	for j := range shard {
+		shard[j] = 0
+	}
+	s.err = nil
+	for i := s.lo; i < s.hi; i++ {
+		sym := r.agents[i].Display()
+		if sym < 0 || sym >= d {
+			if s.err == nil {
+				s.err = fmt.Errorf("agent %d displayed symbol %d outside alphabet [0, %d)", i, sym, d)
+			}
+			sym = 0
+		}
+		if r.needDisplays {
+			r.displays[i] = sym
+		}
+		shard[sym]++
+	}
+}
+
+// mergeSnapshot runs at the Phase A barrier: it merges the worker count
+// shards and derives the round's sampling state (multinomial weights for the
+// aggregate backend, the display→observation mixture alias for the
+// complete-graph exact backend).
+func (r *Runner) mergeSnapshot() error {
+	for j := range r.counts {
+		r.counts[j] = 0
+	}
+	for w := range r.scratch {
+		s := &r.scratch[w]
+		if s.err != nil {
+			return s.err
+		}
+		for j, c := range s.shard {
+			r.counts[j] += c
+		}
+	}
+	d := r.env.Alphabet
+	switch r.backend {
+	case BackendAggregate:
+		for j, c := range r.counts {
+			r.probs[j] = float64(c)
+		}
+	case BackendExact:
+		if r.cfg.Topology == nil {
+			// One uniform sample pushed through the channel is distributed
+			// as the counts-weighted mixture of the effective rows; h exact
+			// samples are h draws from this single alias table.
+			for j := 0; j < d; j++ {
+				acc := 0.0
+				for sigma := 0; sigma < d; sigma++ {
+					acc += float64(r.counts[sigma]) * r.effRows[sigma][j]
+				}
+				r.mixW[j] = acc
+			}
+			// The weights sum to n > 0, so Init cannot fail.
+			if err := r.mix.Init(r.mixW); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// observeRange is Phase B for worker w's agent range: fill each agent's
+// observation counts using the selected backend and deliver them, tallying
+// correct opinions into the worker's partial count.
+func (r *Runner) observeRange(w int) {
+	s := &r.scratch[w]
+	count := 0
+	for i := s.lo; i < s.hi; i++ {
+		stream := &r.streams[i]
+		r.observe(i, stream, s)
+		a := r.agents[i]
+		a.Observe(s.observed, stream)
+		if a.Opinion() == r.correct {
+			count++
+		}
+	}
+	s.partial = count
+}
+
+// observe fills s.observed with agent i's per-symbol observation counts for
+// this round, using the selected backend and worker w's scratch.
+func (r *Runner) observe(i int, stream *rng.Stream, s *workerScratch) {
 	h := r.cfg.H
+	observed := s.observed
 	for j := range observed {
 		observed[j] = 0
 	}
 	switch r.backend {
 	case BackendExact:
-		n := r.cfg.N
-		var neighbors []int32
-		if r.cfg.Topology != nil {
-			neighbors = r.cfg.Topology.Neighbors(i)
-		}
-		for s := 0; s < h; s++ {
-			var sigma int
-			if neighbors != nil {
-				sigma = r.displays[neighbors[stream.Intn(len(neighbors))]]
-			} else {
-				sigma = r.displays[stream.Intn(n)]
+		if r.cfg.Topology == nil {
+			for k := 0; k < h; k++ {
+				observed[r.mix.Sample(stream)]++
 			}
-			o := r.channel.Apply(stream, sigma)
-			if r.artif != nil {
-				o = r.artif.Apply(stream, o)
-			}
-			observed[o]++
-		}
-	case BackendAggregate:
-		// The h sampled display symbols are Multinomial(h, counts/n).
-		stream.Multinomial(h, r.probs, sampled)
-		if r.artif == nil {
-			r.channel.ApplyCounts(stream, sampled, observed)
 			return
 		}
-		// Two-stage channel: noise first, then the agent's artificial noise.
-		for j := range inter {
-			inter[j] = 0
+		nb := r.cfg.Topology.Neighbors(i)
+		d := r.env.Alphabet
+		if len(nb)+d*d <= 2*h {
+			// Small neighborhood: build the neighborhood's observation
+			// mixture once (O(deg + d²)) and draw from its alias table,
+			// instead of paying a neighbor draw, a display load, and a
+			// channel draw per sample.
+			cnt := s.nbrCnt
+			for j := range cnt {
+				cnt[j] = 0
+			}
+			for _, v := range nb {
+				cnt[r.displays[v]]++
+			}
+			for j := 0; j < d; j++ {
+				acc := 0.0
+				for sigma := 0; sigma < d; sigma++ {
+					acc += float64(cnt[sigma]) * r.effRows[sigma][j]
+				}
+				s.nbrW[j] = acc
+			}
+			// The weights sum to the degree ≥ 1, so Init cannot fail.
+			_ = s.nbrMix.Init(s.nbrW)
+			for k := 0; k < h; k++ {
+				observed[s.nbrMix.Sample(stream)]++
+			}
+			return
 		}
-		r.channel.ApplyCounts(stream, sampled, inter)
-		r.artif.ApplyCounts(stream, inter, observed)
+		for k := 0; k < h; k++ {
+			sigma := r.displays[nb[stream.Intn(len(nb))]]
+			observed[r.channel.Apply(stream, sigma)]++
+		}
+	case BackendAggregate:
+		// The h sampled display symbols are Multinomial(h, counts/n); the
+		// composed channel scatters them over its rows in aggregate.
+		stream.Multinomial(h, r.probs, s.sampled)
+		r.channel.ApplyCounts(stream, s.sampled, observed)
 	default:
 		panic(fmt.Sprintf("sim: unresolved backend %v", r.backend))
 	}

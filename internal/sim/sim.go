@@ -116,6 +116,18 @@ type Protocol interface {
 	NewAgent(id int, role Role, env Env) Agent
 }
 
+// BulkProtocol is an optional Protocol extension for allocation-efficient
+// population construction: NewAgents returns all n agents at once, letting
+// implementations back them with a single slab allocation (and compute
+// shared per-run parameters once) instead of paying one allocation and one
+// parameter derivation per agent. The engine prefers it over NewAgent in
+// New and Runner.Reset; the result must be indistinguishable from calling
+// NewAgent(id, role(id), env) for each id in order.
+type BulkProtocol interface {
+	Protocol
+	NewAgents(n int, env Env, role func(id int) Role) []Agent
+}
+
 // Finite is implemented by protocols with a predetermined duration (such as
 // SF, whose phases are fixed by n, h, δ, s): the engine runs them for
 // exactly Rounds rounds.

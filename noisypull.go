@@ -191,7 +191,35 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer runner.Close()
 	return runner.Run()
+}
+
+// RunBatch executes one independent trial per seed and returns the results
+// in seed order. Runners are constructed once and rewound between trials, so
+// population construction, channel composition (including the Theorem 8
+// reduction), and all simulation scratch are amortized across the batch —
+// the per-trial overhead of a large batch is just re-deriving agent state.
+//
+// Trials run concurrently on cfg.Workers goroutines (0 = GOMAXPROCS), each
+// simulating single-threaded, so total CPU use stays at the configured
+// level. Every trial's result depends only on its seed: RunBatch(cfg, seeds)
+// is element-wise identical to calling Run with each seed, for any Workers.
+// cfg.Seed and cfg.OnRound are ignored (use TrackHistory for per-trial
+// trajectories).
+func RunBatch(cfg Config, seeds []uint64) ([]*Result, error) {
+	cfg.OnRound = nil
+	sc, err := cfg.toSim()
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkProtocolDomain(cfg.Protocol, sc.Env()); err != nil {
+		return nil, err
+	}
+	return sim.RunBatch(sc, seeds, cfg.Workers)
 }
 
 // checkProtocolDomain asks protocols that can validate their applicability
