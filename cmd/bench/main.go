@@ -10,17 +10,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"regexp"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
 	"noisypull/internal/bench"
+	"noisypull/internal/buildinfo"
 )
 
 // Record is one benchmark measurement in the output file.
@@ -49,13 +54,18 @@ type File struct {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -63,9 +73,14 @@ func run(args []string, out io.Writer) error {
 		outPath  = fs.String("out", "", "output file (default BENCH_<today>.json)")
 		baseline = fs.String("baseline", "", "prior BENCH_*.json to compare against")
 		list     = fs.Bool("list", false, "list case names and exit")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("bench"))
+		return nil
 	}
 	re, err := regexp.Compile(*filter)
 	if err != nil {
@@ -95,6 +110,12 @@ func run(args []string, out io.Writer) error {
 	for _, c := range bench.Suite() {
 		if !re.MatchString(c.Name) {
 			continue
+		}
+		// A Ctrl-C/SIGTERM lands here between cases: abort without writing a
+		// partial trajectory file (a truncated BENCH_<date>.json would skew
+		// commit-to-commit comparisons).
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted after %d case(s), no output written: %w", len(file.Benchmarks), err)
 		}
 		fmt.Fprintf(out, "%-28s ", c.Name)
 		res := testing.Benchmark(c.F)

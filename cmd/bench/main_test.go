@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -10,7 +11,7 @@ import (
 
 func TestListMatchesFilter(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-list", "-filter", "RunBatch"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-list", "-filter", "RunBatch"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	got := strings.Fields(sb.String())
@@ -22,13 +23,13 @@ func TestListMatchesFilter(t *testing.T) {
 
 func TestBadFlags(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-filter", "["}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-filter", "["}, &sb); err == nil {
 		t.Fatal("bad regexp accepted")
 	}
-	if err := run([]string{"-filter", "NoSuchCase"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-filter", "NoSuchCase"}, &sb); err == nil {
 		t.Fatal("empty selection accepted")
 	}
-	if err := run([]string{"-baseline", "/does/not/exist.json", "-filter", "ReduceNoise"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-baseline", "/does/not/exist.json", "-filter", "ReduceNoise"}, &sb); err == nil {
 		t.Fatal("missing baseline accepted")
 	}
 }
@@ -52,7 +53,7 @@ func TestRunWritesFile(t *testing.T) {
 
 	outPath := filepath.Join(dir, "out.json")
 	var sb strings.Builder
-	if err := run([]string{
+	if err := run(context.Background(), []string{
 		"-filter", "^ReduceNoise$",
 		"-out", outPath,
 		"-baseline", basePath,

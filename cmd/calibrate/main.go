@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"noisypull"
+	"noisypull/internal/buildinfo"
 	"noisypull/internal/noise"
 	"noisypull/internal/protocol"
 	"noisypull/internal/rng"
@@ -46,9 +47,14 @@ func run(args []string, out io.Writer) error {
 		h        = fs.Int("observations", 32, "per-round sample size h for the parameter report")
 		s1       = fs.Int("s1", 1, "sources preferring 1")
 		s0       = fs.Int("s0", 0, "sources preferring 0")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("calibrate"))
+		return nil
 	}
 
 	// The "unknown" channel being calibrated.

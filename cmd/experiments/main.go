@@ -9,26 +9,36 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"noisypull/internal/buildinfo"
 	"noisypull/internal/experiment"
 	"noisypull/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -39,9 +49,14 @@ func run(args []string, out io.Writer) error {
 		csvDir    = fs.String("csv", "", "directory to also write series/tables as CSV")
 		verbose   = fs.Bool("v", false, "print per-grid-point progress")
 		plots     = fs.Bool("plots", true, "render ASCII plots for experiment series")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("experiments"))
+		return nil
 	}
 
 	var scale experiment.Scale
@@ -75,9 +90,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := experiment.Options{
-		Scale:  scale,
-		Trials: *trials,
-		Seed:   *seed,
+		Context: ctx,
+		Scale:   scale,
+		Trials:  *trials,
+		Seed:    *seed,
 	}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) {
@@ -86,6 +102,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	for _, e := range selected {
+		// A Ctrl-C lands here between experiments (and inside e.Run via
+		// opts.Context): stop cleanly without starting the next one.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted: %w", err)
+		}
 		fmt.Fprintf(out, "=== %s — %s\n", e.ID, e.Title)
 		fmt.Fprintf(out, "    reproduces: %s (scale: %s)\n\n", e.PaperRef, scale)
 		start := time.Now()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-run", "E1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-run", "E1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -23,7 +24,7 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunMultipleWithCSV(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-run", "E1", "-csv", dir, "-plots=false"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-run", "E1", "-csv", dir, "-plots=false"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	series, err := os.ReadFile(filepath.Join(dir, "E1_series.csv"))
@@ -46,7 +47,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var sb strings.Builder
-		if err := run(args, &sb); err == nil {
+		if err := run(context.Background(), args, &sb); err == nil {
 			t.Errorf("args %v did not error", args)
 		}
 	}

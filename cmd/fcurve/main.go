@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"noisypull/internal/buildinfo"
 	"noisypull/internal/noise"
 	"noisypull/internal/report"
 )
@@ -28,12 +29,17 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fcurve", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		dList  = fs.String("d", "2,4", "comma-separated alphabet sizes")
-		points = fs.Int("points", 200, "samples per curve")
-		asCSV  = fs.Bool("csv", false, "emit CSV instead of an ASCII plot")
+		dList   = fs.String("d", "2,4", "comma-separated alphabet sizes")
+		points  = fs.Int("points", 200, "samples per curve")
+		asCSV   = fs.Bool("csv", false, "emit CSV instead of an ASCII plot")
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("fcurve"))
+		return nil
 	}
 	if *points < 2 {
 		return fmt.Errorf("need at least 2 points, got %d", *points)

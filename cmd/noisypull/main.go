@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"noisypull"
+	"noisypull/internal/buildinfo"
 	"noisypull/internal/report"
 )
 
@@ -48,9 +49,14 @@ func run(args []string, out io.Writer) error {
 		window    = fs.Int("window", 0, "stability window in rounds (0 = protocol default)")
 		c1        = fs.Float64("c1", 0, "protocol constant c1 override (0 = calibrated default)")
 		history   = fs.Bool("history", false, "plot the per-round fraction of correct opinions")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("noisypull"))
+		return nil
 	}
 
 	alphabet := 2

@@ -1,0 +1,80 @@
+// Command simd serves the simulation engine as a daemon: submit noisy
+// PULL(h) jobs over HTTP, watch round-level progress as NDJSON, cancel
+// mid-run, and let SIGTERM drain in-flight work gracefully.
+//
+//	simd -addr :8080 -queue 32 -workers 4
+//
+//	# Submit an SF job (three seeds), then stream and cancel:
+//	curl -s localhost:8080/v1/jobs -d '{"n":1000,"h":32,"sources1":1,"protocol":"sf","seeds":[1,2,3]}'
+//	curl -sN localhost:8080/v1/jobs/j-000001/stream
+//	curl -s -X DELETE localhost:8080/v1/jobs/j-000001
+//
+// See README "Running as a service" and DESIGN.md §3.6.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"noisypull/internal/buildinfo"
+	"noisypull/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		queue      = fs.Int("queue", 16, "job queue capacity (submissions beyond it get 429)")
+		workers    = fs.Int("workers", 0, "scheduler workers executing jobs (0 = GOMAXPROCS)")
+		simWorkers = fs.Int("sim-workers", 1, "engine goroutines per simulation")
+		ttl        = fs.Duration("ttl", time.Hour, "how long finished jobs stay queryable")
+		maxSeeds   = fs.Int("max-seeds", 1024, "maximum seeds per job")
+		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline before in-flight jobs are cancelled")
+		quiet      = fs.Bool("quiet", false, "suppress per-job log lines")
+		version    = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("simd"))
+		return nil
+	}
+
+	logger := log.New(out, "", log.LstdFlags)
+	logf := func(format string, a ...any) { logger.Printf(format, a...) }
+	if *quiet {
+		logf = nil
+	}
+
+	d := service.NewDaemon(service.DaemonConfig{
+		Addr: *addr,
+		Service: service.Config{
+			QueueCapacity:  *queue,
+			Workers:        *workers,
+			SimWorkers:     *simWorkers,
+			ResultTTL:      *ttl,
+			MaxSeedsPerJob: *maxSeeds,
+		},
+		DrainTimeout: *drain,
+		Logf:         logf,
+	})
+	return d.Run(ctx)
+}

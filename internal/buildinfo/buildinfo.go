@@ -1,0 +1,61 @@
+// Package buildinfo derives a human-readable version string for the
+// repository's binaries from the metadata the Go toolchain embeds in every
+// build (module version, VCS revision, dirty flag). All cmd/ binaries expose
+// it behind a -version flag so deployed artifacts can be traced back to a
+// commit without a separate stamping step.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns the version line printed by -version:
+//
+//	<name> <module version> (rev <revision>[, dirty]) <go version>
+//
+// Fields that the build did not record (for example the VCS revision of a
+// non-git build, or a "(devel)" module version) degrade gracefully.
+func String(name string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(Version())
+	b.WriteByte(' ')
+	b.WriteString(runtime.Version())
+	return b.String()
+}
+
+// Version returns the module version plus VCS revision, without the binary
+// name or Go version.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "(unknown)"
+	}
+	version := bi.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return version
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += ", dirty"
+	}
+	return version + " (rev " + rev + ")"
+}

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,6 +37,12 @@ func (s Scale) String() string {
 
 // Options configures an experiment run.
 type Options struct {
+	// Context, if non-nil, cancels the run cooperatively: no further trials
+	// are launched after cancellation, in-flight simulations stop within one
+	// round, and the experiment returns the context's error. Nil means
+	// context.Background() (run to completion). cmd/experiments wires this
+	// to SIGINT/SIGTERM so a Ctrl-C exits cleanly mid-grid.
+	Context context.Context
 	// Scale selects the parameter grids.
 	Scale Scale
 	// Trials is the number of independent repetitions per grid point;
@@ -56,6 +63,13 @@ func (o Options) progress(format string, args ...any) {
 	if o.Progress != nil {
 		o.Progress(format, args...)
 	}
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) trialsOr(def int) int {

@@ -81,6 +81,7 @@ func runTrials(opts Options, gridPoint, trials int, makeCfg func(seed uint64) si
 		parallel = trials
 	}
 
+	ctx := opts.ctx()
 	results := make([]*sim.Result, trials)
 	errs := make([]error, trials)
 	var wg sync.WaitGroup
@@ -105,15 +106,24 @@ func runTrials(opts Options, gridPoint, trials int, makeCfg func(seed uint64) si
 					}
 					runnerCfg = cfg
 				}
-				results[t], errs[t] = runner.Run()
+				results[t], errs[t] = runner.RunContext(ctx)
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for t := 0; t < trials; t++ {
-		next <- t
+		select {
+		case next <- t:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	batch := &trialBatch{Trials: trials}
 	for t := 0; t < trials; t++ {
@@ -148,6 +158,7 @@ func runAsyncTrials(opts Options, gridPoint, trials int, makeCfg func(seed uint6
 		parallel = trials
 	}
 
+	ctx := opts.ctx()
 	results := make([]*sim.Result, trials)
 	errs := make([]error, trials)
 	var wg sync.WaitGroup
@@ -163,15 +174,24 @@ func runAsyncTrials(opts Options, gridPoint, trials int, makeCfg func(seed uint6
 					errs[t] = err
 					continue
 				}
-				results[t], errs[t] = runner.Run()
+				results[t], errs[t] = runner.RunContext(ctx)
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for t := 0; t < trials; t++ {
-		next <- t
+		select {
+		case next <- t:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	batch := &trialBatch{Trials: trials}
 	for t := 0; t < trials; t++ {

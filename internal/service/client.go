@@ -1,0 +1,193 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a minimal Go client for a simd daemon. The zero HTTPClient
+// means http.DefaultClient.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes an error envelope into a sentinel-wrapping error so
+// callers can errors.Is against ErrQueueFull / ErrDraining / ErrNotFound.
+func apiError(status int, body []byte) error {
+	var eb errorBody
+	msg := string(bytes.TrimSpace(body))
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	switch status {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w (%s)", ErrQueueFull, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w (%s)", ErrDraining, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w (%s)", ErrNotFound, msg)
+	default:
+		return fmt.Errorf("service: HTTP %d: %s", status, msg)
+	}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return apiError(resp.StatusCode, data)
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Submit posts a job and returns its pending status. A full queue surfaces
+// as an error matching ErrQueueFull; a draining daemon as ErrDraining.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches a job's status and results.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists all stored jobs.
+func (c *Client) Jobs(ctx context.Context) ([]*JobStatus, error) {
+	var sts []*JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &sts); err != nil {
+		return nil, err
+	}
+	return sts, nil
+}
+
+// Cancel requests cancellation and returns the (possibly already terminal)
+// status.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Stream consumes a job's NDJSON progress stream, invoking fn for every
+// event until the terminal status line, which it returns. fn returning a
+// non-nil error aborts the stream with that error. fn may be nil to just
+// wait for completion.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return nil, apiError(resp.StatusCode, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("service: bad stream line: %w", err)
+		}
+		if ev.Type == "status" {
+			return ev.Job, nil
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, errors.New("service: stream ended without a terminal status line")
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

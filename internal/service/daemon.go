@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DaemonConfig configures a Daemon.
+type DaemonConfig struct {
+	// Addr is the listen address (default "127.0.0.1:8080"). Use ":0" for a
+	// random port (tests); Addr() reports the bound address.
+	Addr string
+	// Service tunes the embedded job scheduler.
+	Service Config
+	// DrainTimeout bounds graceful shutdown: in-flight jobs get this long
+	// to finish before they are cancelled. Default 30s.
+	DrainTimeout time.Duration
+	// Logf, if non-nil, receives daemon lifecycle lines (and is passed down
+	// to the service when Service.Logf is unset).
+	Logf func(format string, args ...any)
+}
+
+// Daemon binds a Service to an HTTP listener and owns the shutdown
+// sequence: stop accepting jobs, drain or cancel in-flight work within the
+// deadline, then close the HTTP server. cmd/simd wires it to SIGINT/SIGTERM
+// via Run.
+type Daemon struct {
+	cfg      DaemonConfig
+	svc      *Service
+	srv      *http.Server
+	ln       net.Listener
+	serveErr chan error
+	stopOnce sync.Once
+	stopErr  error
+}
+
+// NewDaemon constructs a daemon (not yet listening).
+func NewDaemon(cfg DaemonConfig) *Daemon {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:8080"
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.Service.Logf == nil {
+		cfg.Service.Logf = cfg.Logf
+	}
+	return &Daemon{cfg: cfg, serveErr: make(chan error, 1)}
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Start binds the listener, starts the service workers, and serves HTTP in
+// the background. It returns once the daemon is accepting requests.
+func (d *Daemon) Start() error {
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	d.ln = ln
+	d.svc = New(d.cfg.Service)
+	d.srv = &http.Server{
+		Handler:           d.svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		d.serveErr <- d.srv.Serve(ln)
+	}()
+	d.logf("simd listening on %s (queue=%d workers=%d ttl=%s)",
+		ln.Addr(), cap(d.svc.queue), d.svc.cfg.Workers, d.svc.cfg.ResultTTL)
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (d *Daemon) Addr() string {
+	if d.ln == nil {
+		return d.cfg.Addr
+	}
+	return d.ln.Addr().String()
+}
+
+// BaseURL returns the http:// URL of the bound address.
+func (d *Daemon) BaseURL() string { return "http://" + d.Addr() }
+
+// Service exposes the embedded scheduler (tests and embedders).
+func (d *Daemon) Service() *Service { return d.svc }
+
+// Run starts the daemon (unless Start was already called) and blocks until
+// ctx is cancelled (typically by a SIGINT/SIGTERM via signal.NotifyContext)
+// or the HTTP server fails, then performs the graceful shutdown sequence and
+// returns its outcome: nil on a clean drain, the drain error when the
+// deadline forced cancellation.
+func (d *Daemon) Run(ctx context.Context) error {
+	if d.ln == nil {
+		if err := d.Start(); err != nil {
+			return err
+		}
+	}
+	select {
+	case <-ctx.Done():
+		d.logf("simd: shutdown signal received, draining (deadline %s)", d.cfg.DrainTimeout)
+		return d.Shutdown()
+	case err := <-d.serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// Shutdown executes the graceful stop: the service drains first (new
+// submissions get 503; running jobs finish or are cancelled at the
+// deadline), then the HTTP server closes once the remaining handlers —
+// including progress streams, which end when their jobs finalize — have
+// returned. Idempotent.
+func (d *Daemon) Shutdown() error {
+	d.stopOnce.Do(func() {
+		drainCtx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+		defer cancel()
+		drainErr := d.svc.Drain(drainCtx)
+
+		httpCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		shutErr := d.srv.Shutdown(httpCtx)
+		if shutErr != nil {
+			d.srv.Close()
+		}
+		if drainErr != nil {
+			d.stopErr = drainErr
+			d.logf("simd: drain deadline hit, in-flight jobs cancelled")
+		} else {
+			d.stopErr = shutErr
+			d.logf("simd: drained cleanly")
+		}
+	})
+	return d.stopErr
+}

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noisypull"
+)
+
+// State is a job's position in its lifecycle. Transitions are
+// pending → running → {done, failed, cancelled}, with the shortcut
+// pending → cancelled for jobs cancelled while still queued.
+type State string
+
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// SeedResult summarizes one completed trial of a job.
+type SeedResult struct {
+	Seed            uint64 `json:"seed"`
+	Rounds          int    `json:"rounds"`
+	Converged       bool   `json:"converged"`
+	FirstAllCorrect int    `json:"first_all_correct,omitempty"`
+	CorrectOpinion  int    `json:"correct_opinion"`
+	FinalCorrect    int    `json:"final_correct"`
+}
+
+// Event is one line of a job's NDJSON progress stream.
+//
+//   - "round": a simulated round finished (Seed, Round, Correct).
+//   - "seed":  a trial finished (Seed, Result).
+//   - "status": the terminal line, carrying the final job status.
+type Event struct {
+	Type    string      `json:"type"`
+	Seed    uint64      `json:"seed,omitempty"`
+	Round   int         `json:"round,omitempty"`
+	Correct int         `json:"correct,omitempty"`
+	Result  *SeedResult `json:"result,omitempty"`
+	Job     *JobStatus  `json:"job,omitempty"`
+}
+
+// JobStatus is the API representation of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID             string       `json:"id"`
+	State          State        `json:"state"`
+	Spec           JobSpec      `json:"spec"`
+	Created        time.Time    `json:"created"`
+	Started        *time.Time   `json:"started,omitempty"`
+	Finished       *time.Time   `json:"finished,omitempty"`
+	Error          string       `json:"error,omitempty"`
+	Results        []SeedResult `json:"results,omitempty"`
+	CompletedSeeds int          `json:"completed_seeds"`
+	TotalSeeds     int          `json:"total_seeds"`
+}
+
+// subscriberBuffer is the per-stream event buffer. Round events beyond a
+// slow consumer's buffer are dropped (progress streams are lossy by design);
+// the terminal status line is never dropped because it is synthesized by the
+// handler after the channel closes.
+const subscriberBuffer = 1024
+
+// job is the service's internal mutable record of one submission.
+type job struct {
+	id    string
+	spec  JobSpec
+	shape shapeKey
+	cfg   noisypull.Config // built at submission; Seed filled per trial
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	nsubs atomic.Int32 // fast path: skip the mutex when nobody streams
+
+	mu       sync.Mutex
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	results  []SeedResult
+	subs     map[chan Event]struct{}
+	expiry   time.Time // TTL eviction deadline once terminal
+}
+
+// status snapshots the job for the API.
+func (j *job) status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		ID:             j.id,
+		State:          j.state,
+		Spec:           j.spec,
+		Created:        j.created,
+		Error:          j.errMsg,
+		CompletedSeeds: len(j.results),
+		TotalSeeds:     len(j.spec.Seeds),
+	}
+	if len(j.results) > 0 {
+		st.Results = append([]SeedResult(nil), j.results...)
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// subscribe registers a progress stream. The returned channel is closed when
+// the job reaches a terminal state (immediately, if it already has); the
+// returned func unsubscribes.
+func (j *job) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, subscriberBuffer)
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	if j.subs == nil {
+		j.subs = make(map[chan Event]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	j.nsubs.Add(1)
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			j.nsubs.Add(-1)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// publish fans an event out to all subscribers, dropping it for any whose
+// buffer is full. The nsubs fast path keeps the per-round cost of an
+// unobserved job to one atomic load.
+func (j *job) publish(ev Event) {
+	if j.nsubs.Load() == 0 {
+		return
+	}
+	j.mu.Lock()
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state, stamps the eviction deadline,
+// and closes every subscriber channel.
+func (j *job) finish(state State, errMsg string, ttl time.Duration) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.expiry = j.finished.Add(ttl)
+	subs := j.subs
+	j.subs = nil
+	j.nsubs.Store(0)
+	j.mu.Unlock()
+	j.cancel() // release the context's timer/child resources
+	for ch := range subs {
+		close(ch)
+	}
+}

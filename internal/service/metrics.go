@@ -1,0 +1,67 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics is the service's counter set, exported in Prometheus text format
+// at /metrics. Everything is an atomic so the hot paths (one increment per
+// simulated round) never contend on a lock.
+type metrics struct {
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	evicted   atomic.Int64
+	running   atomic.Int64
+	rounds    atomic.Int64
+	streams   atomic.Int64
+}
+
+// WriteMetrics emits the service metrics in Prometheus text exposition
+// format.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	m := &s.metrics
+	byState := s.Jobs()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP simd_jobs_submitted_total Jobs accepted into the queue.\n")
+	p("# TYPE simd_jobs_submitted_total counter\n")
+	p("simd_jobs_submitted_total %d\n", m.submitted.Load())
+	p("# HELP simd_jobs_rejected_total Submissions rejected with queue-full backpressure.\n")
+	p("# TYPE simd_jobs_rejected_total counter\n")
+	p("simd_jobs_rejected_total %d\n", m.rejected.Load())
+	p("# HELP simd_jobs_completed_total Jobs that reached a terminal state.\n")
+	p("# TYPE simd_jobs_completed_total counter\n")
+	p("simd_jobs_completed_total{state=\"done\"} %d\n", m.done.Load())
+	p("simd_jobs_completed_total{state=\"failed\"} %d\n", m.failed.Load())
+	p("simd_jobs_completed_total{state=\"cancelled\"} %d\n", m.cancelled.Load())
+	p("# HELP simd_jobs_evicted_total Terminal jobs evicted after their TTL.\n")
+	p("# TYPE simd_jobs_evicted_total counter\n")
+	p("simd_jobs_evicted_total %d\n", m.evicted.Load())
+	p("# HELP simd_jobs_running Jobs currently executing on a scheduler worker.\n")
+	p("# TYPE simd_jobs_running gauge\n")
+	p("simd_jobs_running %d\n", m.running.Load())
+	p("# HELP simd_queue_depth Jobs waiting for a scheduler worker.\n")
+	p("# TYPE simd_queue_depth gauge\n")
+	p("simd_queue_depth %d\n", s.QueueDepth())
+	p("# HELP simd_jobs_stored Jobs currently held in the result store, by state.\n")
+	p("# TYPE simd_jobs_stored gauge\n")
+	for _, st := range sortStates {
+		p("simd_jobs_stored{state=%q} %d\n", string(st), byState[st])
+	}
+	p("# HELP simd_rounds_total Simulated rounds executed across all jobs.\n")
+	p("# TYPE simd_rounds_total counter\n")
+	p("simd_rounds_total %d\n", m.rounds.Load())
+	p("# HELP simd_streams_active Open progress streams.\n")
+	p("# TYPE simd_streams_active gauge\n")
+	p("simd_streams_active %d\n", m.streams.Load())
+	return err
+}

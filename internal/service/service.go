@@ -1,0 +1,472 @@
+// Package service turns the simulation engine into a long-running
+// simulation-as-a-service subsystem: a bounded job queue with backpressure,
+// a scheduler whose workers lease reusable noisypull.Runners across jobs
+// (the RunBatch amortization, extended to a daemon's lifetime), a per-job
+// state machine (pending → running → done/failed/cancelled) with context
+// cancellation threaded into the engine's round loop, an in-memory result
+// store with TTL eviction, and streaming round-level progress. cmd/simd
+// exposes it over HTTP; Client is the matching Go client.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"noisypull"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handlers (and back by the
+// client).
+var (
+	// ErrQueueFull means the job queue is at capacity; retry later (429).
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrDraining means the service is shutting down and accepts no new
+	// jobs (503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrNotFound means no job with the requested id exists (404).
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Config tunes a Service. The zero value gets sensible defaults from New.
+type Config struct {
+	// QueueCapacity bounds the number of jobs waiting to run; submissions
+	// beyond it are rejected with ErrQueueFull (backpressure, not buffering).
+	// Default 16.
+	QueueCapacity int
+	// Workers is the number of scheduler goroutines executing jobs (each
+	// holds at most one leased runner). Default GOMAXPROCS.
+	Workers int
+	// SimWorkers is the engine worker count per simulation. Default 1, so a
+	// loaded daemon's CPU use is governed by Workers alone; raise it for
+	// latency-sensitive single-job deployments.
+	SimWorkers int
+	// ResultTTL is how long a terminal job remains queryable before the
+	// janitor evicts it. Default 1h.
+	ResultTTL time.Duration
+	// MaxSeedsPerJob bounds the trials a single submission may request.
+	// Default 1024.
+	MaxSeedsPerJob int
+	// Logf, if non-nil, receives one line per job state transition.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.QueueCapacity <= 0 {
+		out.QueueCapacity = 16
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.SimWorkers <= 0 {
+		out.SimWorkers = 1
+	}
+	if out.ResultTTL <= 0 {
+		out.ResultTTL = time.Hour
+	}
+	if out.MaxSeedsPerJob <= 0 {
+		out.MaxSeedsPerJob = 1024
+	}
+	return out
+}
+
+// Service is the simulation job scheduler. Create it with New, submit with
+// Submit, and stop it with Drain (graceful) or Close (forced).
+type Service struct {
+	cfg Config
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // ids in submission order, for List
+	queue    chan *job
+	draining bool
+	nextID   uint64
+
+	workers     sync.WaitGroup
+	janitorStop chan struct{}
+	stopOnce    sync.Once
+
+	metrics metrics
+}
+
+// New starts a Service: cfg.Workers scheduler goroutines plus a TTL janitor.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:         cfg,
+		rootCtx:     ctx,
+		rootCancel:  cancel,
+		jobs:        make(map[string]*job),
+		queue:       make(chan *job, cfg.QueueCapacity),
+		janitorStop: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	go s.janitor()
+	return s
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates the spec, stores the job, and enqueues it. It returns
+// the pending status, or ErrQueueFull / ErrDraining / a validation error.
+func (s *Service) Submit(spec JobSpec) (*JobStatus, error) {
+	spec.normalize()
+	if len(spec.Seeds) > s.cfg.MaxSeedsPerJob {
+		return nil, fmt.Errorf("spec: %d seeds exceed the per-job limit %d", len(spec.Seeds), s.cfg.MaxSeedsPerJob)
+	}
+	cfg, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = s.cfg.SimWorkers
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j-%06d", s.nextID),
+		spec:    spec,
+		shape:   spec.shape(),
+		cfg:     cfg,
+		state:   StatePending,
+		created: time.Now(),
+	}
+	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	s.metrics.submitted.Add(1)
+	s.logf("job %s submitted: protocol=%s n=%d h=%d seeds=%d", j.id, spec.Protocol, spec.N, spec.H, len(spec.Seeds))
+	return j.status(), nil
+}
+
+// Get returns the status of a job.
+func (s *Service) Get(id string) (*JobStatus, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.status(), nil
+}
+
+// List returns all stored jobs in submission order.
+func (s *Service) List() []*JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]*JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. A pending job is finalized
+// immediately; a running one stops within one simulated round (the engine
+// checks the job context at every round boundary). Cancelling a terminal
+// job is a no-op returning its current status.
+func (s *Service) Cancel(id string) (*JobStatus, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	state := j.state
+	if state == StatePending {
+		j.state = StateRunning // block the double-finish path; finish below sets the real state
+	}
+	j.mu.Unlock()
+
+	switch {
+	case state.Terminal():
+	case state == StatePending:
+		j.finish(StateCancelled, "cancelled before start", s.cfg.ResultTTL)
+		s.metrics.cancelled.Add(1)
+		s.logf("job %s cancelled while queued", j.id)
+	default:
+		j.cancel()
+	}
+	return j.status(), nil
+}
+
+// Subscribe attaches a progress stream to a job (see job.subscribe).
+func (s *Service) Subscribe(id string) (<-chan Event, func(), error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, unsub := j.subscribe()
+	return ch, unsub, nil
+}
+
+func (s *Service) lookup(id string) (*job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// lease is a scheduler worker's cached runner: rebuilt only when the next
+// job's shape differs, rewound with Reset otherwise.
+type lease struct {
+	runner *noisypull.Runner
+	shape  shapeKey
+	ok     bool
+}
+
+func (l *lease) drop() {
+	if l.runner != nil {
+		l.runner.Close()
+		l.runner = nil
+	}
+	l.ok = false
+}
+
+// worker executes jobs off the queue until the queue closes (drain).
+func (s *Service) worker() {
+	defer s.workers.Done()
+	var l lease
+	defer l.drop()
+	for j := range s.queue {
+		s.runJob(j, &l)
+	}
+}
+
+// runJob drives one job through its seeds on the worker's leased runner.
+func (s *Service) runJob(j *job, l *lease) {
+	j.mu.Lock()
+	if j.state != StatePending { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	s.metrics.running.Add(1)
+	defer s.metrics.running.Add(-1)
+	s.logf("job %s running (%d seeds)", j.id, len(j.spec.Seeds))
+
+	for _, seed := range j.spec.Seeds {
+		if j.ctx.Err() != nil {
+			break
+		}
+		if l.ok && l.shape == j.shape {
+			l.runner.Reset(seed)
+		} else {
+			l.drop()
+			cfg := j.cfg
+			cfg.Seed = seed
+			runner, err := noisypull.NewRunner(cfg)
+			if err != nil {
+				j.finish(StateFailed, err.Error(), s.cfg.ResultTTL)
+				s.metrics.failed.Add(1)
+				s.logf("job %s failed: %v", j.id, err)
+				return
+			}
+			l.runner, l.shape, l.ok = runner, j.shape, true
+		}
+		sd := seed
+		l.runner.SetOnRound(func(round, correct int) {
+			s.metrics.rounds.Add(1)
+			j.publish(Event{Type: "round", Seed: sd, Round: round, Correct: correct})
+		})
+		res, err := l.runner.RunContext(j.ctx)
+		l.runner.SetOnRound(nil)
+		if err != nil {
+			if j.ctx.Err() != nil {
+				break // cancelled (or drain deadline); finalize below
+			}
+			// A protocol/engine error poisons neither the worker nor the
+			// lease shape logic, but the runner may be mid-round: drop it.
+			l.drop()
+			j.finish(StateFailed, err.Error(), s.cfg.ResultTTL)
+			s.metrics.failed.Add(1)
+			s.logf("job %s failed: %v", j.id, err)
+			return
+		}
+		sr := SeedResult{
+			Seed:            seed,
+			Rounds:          res.Rounds,
+			Converged:       res.Converged,
+			FirstAllCorrect: res.FirstAllCorrect,
+			CorrectOpinion:  res.CorrectOpinion,
+			FinalCorrect:    res.FinalCorrect,
+		}
+		j.mu.Lock()
+		j.results = append(j.results, sr)
+		j.mu.Unlock()
+		j.publish(Event{Type: "seed", Seed: seed, Result: &sr})
+	}
+
+	if j.ctx.Err() != nil {
+		j.finish(StateCancelled, "cancelled", s.cfg.ResultTTL)
+		s.metrics.cancelled.Add(1)
+		s.logf("job %s cancelled", j.id)
+		return
+	}
+	j.finish(StateDone, "", s.cfg.ResultTTL)
+	s.metrics.done.Add(1)
+	s.logf("job %s done", j.id)
+}
+
+// janitor evicts terminal jobs past their TTL.
+func (s *Service) janitor() {
+	interval := s.cfg.ResultTTL / 4
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case now := <-ticker.C:
+			s.evict(now)
+		}
+	}
+}
+
+func (s *Service) evict(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var kept []string
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		expired := j.state.Terminal() && !j.expiry.IsZero() && now.After(j.expiry)
+		j.mu.Unlock()
+		if expired {
+			delete(s.jobs, id)
+			s.metrics.evicted.Add(1)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Drain gracefully shuts the service down: stop accepting submissions
+// (ErrDraining), let queued and running jobs finish, and — if ctx expires
+// first — cancel whatever is still in flight (those jobs finalize as
+// cancelled within one simulated round). Drain returns ctx.Err() when the
+// deadline forced cancellation, nil on a clean drain. It is idempotent.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+
+	idle := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(idle)
+	}()
+
+	var err error
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.rootCancel() // cancels every job context; workers unwind fast
+		<-idle
+	}
+
+	s.stopOnce.Do(func() {
+		s.rootCancel()
+		close(s.janitorStop)
+	})
+	// Jobs that were still queued when the deadline hit were never picked up
+	// by a worker; finalize them so no submission is left pending forever.
+	s.mu.Lock()
+	pending := make([]*job, 0)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StatePending {
+			j.state = StateRunning // reserve the finish transition
+			pending = append(pending, j)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		j.finish(StateCancelled, "cancelled: service shut down", s.cfg.ResultTTL)
+		s.metrics.cancelled.Add(1)
+	}
+	return err
+}
+
+// Close force-stops the service: cancel everything, wait for workers.
+func (s *Service) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx)
+}
+
+// Jobs returns summary counts by state (for /metrics and tests).
+func (s *Service) Jobs() map[State]int {
+	out := make(map[State]int)
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// sortStates is a stable order for metrics output.
+var sortStates = []State{StatePending, StateRunning, StateDone, StateFailed, StateCancelled}

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"fmt"
+
+	"noisypull"
+)
+
+// JobSpec is the wire format of a simulation job: the JSON body of
+// POST /v1/jobs. It mirrors the scalar surface of noisypull.Config (plus the
+// cmd/noisypull protocol vocabulary) so a job is fully described by data —
+// no Go values cross the API.
+type JobSpec struct {
+	// N is the population size.
+	N int `json:"n"`
+	// H is the per-round sample size.
+	H int `json:"h"`
+	// Sources1 and Sources0 are the source counts preferring 1 and 0.
+	Sources1 int `json:"sources1"`
+	Sources0 int `json:"sources0"`
+	// Delta is the uniform noise level; ignored when P01/P10 are set.
+	Delta float64 `json:"delta,omitempty"`
+	// P01 and P10, when both set, select the asymmetric binary channel
+	// (reduced automatically via Theorem 8).
+	P01 *float64 `json:"p01,omitempty"`
+	P10 *float64 `json:"p10,omitempty"`
+	// Protocol is one of sf, ssf, voter, majority, trustbit.
+	Protocol string `json:"protocol"`
+	// C1 overrides the protocol constant c1 (0 = calibrated default).
+	C1 float64 `json:"c1,omitempty"`
+	// MaxRounds caps non-terminating protocols (0 = engine default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// StabilityWindow is the convergence window (0 = protocol default).
+	StabilityWindow int `json:"stability_window,omitempty"`
+	// Corruption is the adversarial initialization: none, wrong, random.
+	Corruption string `json:"corruption,omitempty"`
+	// Backend selects the observation sampler: auto, exact, aggregate.
+	Backend string `json:"backend,omitempty"`
+	// Seeds lists the independent trials to run, in order. Empty means the
+	// single seed 1.
+	Seeds []uint64 `json:"seeds,omitempty"`
+}
+
+// shapeKey is the comparable identity of a spec up to its seeds: two jobs
+// with equal shapes produce engine configurations that differ only in the
+// seed, so a scheduler worker's leased runner can be rewound with Reset
+// instead of rebuilt (the RunBatch reuse pattern, extended across jobs).
+type shapeKey struct {
+	n, h, s1, s0          int
+	delta, p01, p10, c1   float64
+	asym                  bool
+	protocol, corruption  string
+	backend               string
+	maxRounds, stabilityW int
+}
+
+func (s *JobSpec) shape() shapeKey {
+	k := shapeKey{
+		n: s.N, h: s.H, s1: s.Sources1, s0: s.Sources0,
+		delta: s.Delta, c1: s.C1,
+		protocol: s.Protocol, corruption: s.Corruption, backend: s.Backend,
+		maxRounds: s.MaxRounds, stabilityW: s.StabilityWindow,
+	}
+	if s.P01 != nil && s.P10 != nil {
+		k.asym, k.p01, k.p10, k.delta = true, *s.P01, *s.P10, 0
+	}
+	return k
+}
+
+// build translates the spec into a validated noisypull.Config (Seed unset;
+// the scheduler fills it per trial).
+func (s *JobSpec) build() (noisypull.Config, error) {
+	var zero noisypull.Config
+	if s.Protocol == "" {
+		return zero, fmt.Errorf("spec: protocol is required (sf, ssf, voter, majority, trustbit)")
+	}
+
+	alphabet := 2
+	if s.Protocol == "ssf" || s.Protocol == "trustbit" {
+		alphabet = 4
+	}
+
+	var nm *noisypull.NoiseMatrix
+	var err error
+	switch {
+	case s.P01 != nil || s.P10 != nil:
+		if s.P01 == nil || s.P10 == nil {
+			return zero, fmt.Errorf("spec: set both p01 and p10 for an asymmetric channel")
+		}
+		if alphabet != 2 {
+			return zero, fmt.Errorf("spec: p01/p10 define a binary channel; protocol %q uses alphabet 4", s.Protocol)
+		}
+		nm, err = noisypull.AsymmetricNoise(*s.P01, *s.P10)
+	default:
+		nm, err = noisypull.UniformNoise(alphabet, s.Delta)
+	}
+	if err != nil {
+		return zero, fmt.Errorf("spec: %w", err)
+	}
+
+	var proto noisypull.Protocol
+	switch s.Protocol {
+	case "sf":
+		var opts []noisypull.SFOption
+		if s.C1 > 0 {
+			opts = append(opts, noisypull.WithSFConstant(s.C1))
+		}
+		proto = noisypull.NewSourceFilter(opts...)
+	case "ssf":
+		var opts []noisypull.SSFOption
+		if s.C1 > 0 {
+			opts = append(opts, noisypull.WithSSFConstant(s.C1))
+		}
+		proto = noisypull.NewSelfStabilizing(opts...)
+	case "voter":
+		proto = noisypull.VoterBaseline
+	case "majority":
+		proto = noisypull.MajorityBaseline
+	case "trustbit":
+		proto = noisypull.TrustBitBaseline
+	default:
+		return zero, fmt.Errorf("spec: unknown protocol %q", s.Protocol)
+	}
+
+	var mode noisypull.CorruptionMode
+	switch s.Corruption {
+	case "", "none":
+		mode = noisypull.CorruptNone
+	case "wrong":
+		mode = noisypull.CorruptWrongConsensus
+	case "random":
+		mode = noisypull.CorruptRandom
+	default:
+		return zero, fmt.Errorf("spec: unknown corruption mode %q", s.Corruption)
+	}
+
+	var backend noisypull.Backend
+	switch s.Backend {
+	case "", "auto":
+		backend = noisypull.BackendAuto
+	case "exact":
+		backend = noisypull.BackendExact
+	case "aggregate":
+		backend = noisypull.BackendAggregate
+	default:
+		return zero, fmt.Errorf("spec: unknown backend %q", s.Backend)
+	}
+
+	cfg := noisypull.Config{
+		N:               s.N,
+		H:               s.H,
+		Sources1:        s.Sources1,
+		Sources0:        s.Sources0,
+		Noise:           nm,
+		Protocol:        proto,
+		Backend:         backend,
+		MaxRounds:       s.MaxRounds,
+		StabilityWindow: s.StabilityWindow,
+		Corruption:      mode,
+	}
+	if err := cfg.Check(); err != nil {
+		return zero, fmt.Errorf("spec: %w", err)
+	}
+	return cfg, nil
+}
+
+// normalize fills spec defaults (applied at submission so stored statuses
+// show what actually ran).
+func (s *JobSpec) normalize() {
+	if len(s.Seeds) == 0 {
+		s.Seeds = []uint64{1}
+	}
+	if s.Corruption == "" {
+		s.Corruption = "none"
+	}
+	if s.Backend == "" {
+		s.Backend = "auto"
+	}
+}

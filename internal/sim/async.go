@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"noisypull/internal/noise"
@@ -119,6 +120,12 @@ func (r *AsyncRunner) Env() Env { return r.env }
 // StabilityWindow consecutive parallel rounds or MaxRounds parallel rounds
 // elapse.
 func (r *AsyncRunner) Run() (*Result, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation, checked once per parallel
+// round (n activations); a cancelled run returns ctx.Err().
+func (r *AsyncRunner) RunContext(ctx context.Context) (*Result, error) {
 	cfg := &r.cfg
 	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
@@ -143,8 +150,16 @@ func (r *AsyncRunner) Run() (*Result, error) {
 	inter := make([]int, r.env.Alphabet)
 	observed := make([]int, r.env.Alphabet)
 
+	done := ctx.Done()
 	stable := 0
 	for round := 1; round <= maxRounds; round++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		for step := 0; step < n; step++ {
 			r.activate(r.sched.Intn(n), sampled, inter, observed, correctOp)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -19,6 +20,15 @@ import (
 // parallel <= 0 means GOMAXPROCS. cfg.OnRound must be nil (trials run
 // concurrently; use TrackHistory for per-trial trajectories).
 func RunBatch(cfg Config, seeds []uint64, parallel int) ([]*Result, error) {
+	return RunBatchContext(context.Background(), cfg, seeds, parallel)
+}
+
+// RunBatchContext is RunBatch with cooperative cancellation. Once ctx is
+// cancelled no further seeds are launched, every in-flight trial stops
+// within one round (via RunContext), and the call returns ctx.Err(); partial
+// results are discarded. An uncancelled context yields results element-wise
+// identical to RunBatch.
+func RunBatchContext(ctx context.Context, cfg Config, seeds []uint64, parallel int) ([]*Result, error) {
 	if cfg.OnRound != nil {
 		return nil, errors.New("sim: RunBatch does not support OnRound (trials run concurrently); use TrackHistory")
 	}
@@ -57,16 +67,25 @@ func RunBatch(cfg Config, seeds []uint64, parallel int) ([]*Result, error) {
 				} else {
 					runner.Reset(seeds[t])
 				}
-				results[t], errs[t] = runner.Run()
+				results[t], errs[t] = runner.RunContext(ctx)
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for t := range seeds {
-		next <- t
+		select {
+		case next <- t:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for t, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("sim: trial %d (seed %d): %w", t, seeds[t], err)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -229,11 +230,28 @@ func (r *Runner) Env() Env { return r.env }
 // auto-selection.
 func (r *Runner) Backend() Backend { return r.backend }
 
+// SetOnRound replaces the runner's per-round observation hook. It must not
+// be called while a Run is in progress. Harness code that leases a runner
+// across jobs (service scheduler, batch drivers) uses it to repoint progress
+// streaming at the current job between Reset and Run.
+func (r *Runner) SetOnRound(fn func(round, correct int)) {
+	r.cfg.OnRound = fn
+}
+
 // Run executes rounds until the protocol finishes (finite protocols), the
 // population has been all-correct for the stability window (infinite
 // protocols), or MaxRounds elapse. A Runner runs once per New or Reset;
 // calling Run again without a Reset is an error.
 func (r *Runner) Run() (*Result, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// once per round, so a cancelled run stops within one round instead of
+// running to MaxRounds, returning ctx.Err() (context.Canceled or
+// context.DeadlineExceeded). A cancelled runner stays reusable — Reset
+// rewinds it to a state bit-identical to a freshly constructed one.
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	if r.ran {
 		return nil, errors.New("sim: Runner.Run called again without Reset")
 	}
@@ -273,8 +291,16 @@ func (r *Runner) Run() (*Result, error) {
 		defer r.pool.detach()
 	}
 
+	done := ctx.Done()
 	stable := 0
 	for round := 1; round <= maxRounds; round++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		correctCount, err := r.step()
 		if err != nil {
 			return nil, fmt.Errorf("sim: round %d: %w", round, err)

@@ -1,6 +1,7 @@
 package noisypull
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -177,22 +178,19 @@ var ErrNotReducible = errors.New("noisypull: noise matrix is not reducible to un
 // message, so protocols always operate under exactly uniform noise — the
 // setting their guarantees are stated in.
 func Run(cfg Config) (*Result, error) {
-	sc, err := cfg.toSim()
-	if err != nil {
-		return nil, err
-	}
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	if err := checkProtocolDomain(cfg.Protocol, sc.Env()); err != nil {
-		return nil, err
-	}
-	runner, err := sim.New(sc)
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// once per simulated round, so cancelling it stops the run within one round
+// (rather than at MaxRounds) and returns ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	runner, err := NewRunner(cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer runner.Close()
-	return runner.Run()
+	return runner.RunContext(ctx)
 }
 
 // RunBatch executes one independent trial per seed and returns the results
@@ -208,6 +206,13 @@ func Run(cfg Config) (*Result, error) {
 // cfg.Seed and cfg.OnRound are ignored (use TrackHistory for per-trial
 // trajectories).
 func RunBatch(cfg Config, seeds []uint64) ([]*Result, error) {
+	return RunBatchContext(context.Background(), cfg, seeds)
+}
+
+// RunBatchContext is RunBatch with cooperative cancellation: once ctx is
+// cancelled no further seeds are launched, in-flight trials stop within one
+// round, and the call returns ctx.Err().
+func RunBatchContext(ctx context.Context, cfg Config, seeds []uint64) ([]*Result, error) {
 	cfg.OnRound = nil
 	sc, err := cfg.toSim()
 	if err != nil {
@@ -219,8 +224,58 @@ func RunBatch(cfg Config, seeds []uint64) ([]*Result, error) {
 	if err := checkProtocolDomain(cfg.Protocol, sc.Env()); err != nil {
 		return nil, err
 	}
-	return sim.RunBatch(sc, seeds, cfg.Workers)
+	return sim.RunBatchContext(ctx, sc, seeds, cfg.Workers)
 }
+
+// Runner is a reusable simulation executor: construction pays for population
+// instantiation, channel composition (including the Theorem 8 reduction),
+// and all per-round scratch once, and Reset rewinds it for further seeds
+// over the same allocations — the mechanism behind RunBatch, exposed so
+// long-lived harnesses (for example the simd job scheduler) can lease
+// runners across requests.
+type Runner struct {
+	r *sim.Runner
+}
+
+// NewRunner validates cfg and provisions a reusable runner for it. The
+// caller should Close it when done (a finalizer reclaims forgotten ones).
+func NewRunner(cfg Config) (*Runner, error) {
+	sc, err := cfg.toSim()
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkProtocolDomain(cfg.Protocol, sc.Env()); err != nil {
+		return nil, err
+	}
+	r, err := sim.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{r: r}, nil
+}
+
+// Run executes the runner's configured simulation. A Runner runs once per
+// NewRunner or Reset; calling Run again without a Reset is an error.
+func (r *Runner) Run() (*Result, error) { return r.r.Run() }
+
+// RunContext is Run with cooperative cancellation, checked once per round.
+// A cancelled runner remains reusable: Reset rewinds it to a state
+// bit-identical to a freshly constructed one.
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) { return r.r.RunContext(ctx) }
+
+// Reset rewinds the runner under a new seed, reusing its allocations and
+// worker pool; the subsequent Run is bit-identical to a fresh runner's.
+func (r *Runner) Reset(seed uint64) { r.r.Reset(seed) }
+
+// SetOnRound replaces the per-round observation hook (round index and
+// correct-opinion count). It must not be called while a Run is in progress.
+func (r *Runner) SetOnRound(fn func(round, correct int)) { r.r.SetOnRound(fn) }
+
+// Close releases the runner's worker pool. Idempotent.
+func (r *Runner) Close() { r.r.Close() }
 
 // checkProtocolDomain asks protocols that can validate their applicability
 // (SF and SSF expose Check) to do so, turning would-be construction panics
