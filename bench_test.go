@@ -42,6 +42,7 @@ func BenchmarkE16Calibration(b *testing.B) { run(b, "E16Calibration") }
 func BenchmarkE17Async(b *testing.B)       { run(b, "E17Async") }
 func BenchmarkE18Topology(b *testing.B)    { run(b, "E18Topology") }
 func BenchmarkE19Memory(b *testing.B)      { run(b, "E19Memory") }
+func BenchmarkE20Crossover(b *testing.B)   { run(b, "E20Crossover") }
 
 // AblationBackend compares the two observation backends at the same shape
 // (DESIGN.md §3 choice 1): the aggregate path costs O(|Σ|²) per agent-round
@@ -73,3 +74,12 @@ func BenchmarkRunBatchSequentialBaseline(b *testing.B) { run(b, "RunBatchSequent
 // BenchmarkTopologyExact exercises the graph-restricted exact backend with
 // the cached per-neighborhood mixture sampler.
 func BenchmarkTopologyExact(b *testing.B) { run(b, "TopologyExact") }
+
+// Scale benchmarks: identical fixed-round workloads at n = 10⁶ under the
+// aggregate and counts backends (ns/op ratio = per-round speedup), plus a
+// full n = 10⁸ convergence run only the counts backend can afford.
+func BenchmarkScaleVoter1MAggregate(b *testing.B)    { run(b, "ScaleVoter1MAggregate") }
+func BenchmarkScaleVoter1MCounts(b *testing.B)       { run(b, "ScaleVoter1MCounts") }
+func BenchmarkScaleMajority1MAggregate(b *testing.B) { run(b, "ScaleMajority1MAggregate") }
+func BenchmarkScaleMajority1MCounts(b *testing.B)    { run(b, "ScaleMajority1MCounts") }
+func BenchmarkScaleMajority100MCounts(b *testing.B)  { run(b, "ScaleMajority100MCounts") }

@@ -6,6 +6,7 @@
 //	bench                              # full suite -> BENCH_<today>.json
 //	bench -filter 'Ablation|RunBatch'  # subset by regexp
 //	bench -baseline BENCH_old.json     # embed old numbers + speedups
+//	bench -cpu 1,4,8                   # sweep GOMAXPROCS per case
 //	bench -list                        # print case names and exit
 package main
 
@@ -20,6 +21,9 @@ import (
 	"os/signal"
 	"regexp"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -30,7 +34,10 @@ import (
 
 // Record is one benchmark measurement in the output file.
 type Record struct {
-	Name        string             `json:"name"`
+	Name string `json:"name"`
+	// CPU is the GOMAXPROCS the case ran under when -cpu was given; 0 means
+	// the process default (single-run mode, the historical schema).
+	CPU         int                `json:"cpu,omitempty"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
@@ -72,6 +79,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		filter   = fs.String("filter", ".", "regexp selecting case names to run")
 		outPath  = fs.String("out", "", "output file (default BENCH_<today>.json)")
 		baseline = fs.String("baseline", "", "prior BENCH_*.json to compare against")
+		cpuList  = fs.String("cpu", "", "comma-separated GOMAXPROCS values to sweep per case (e.g. 1,4,8)")
 		list     = fs.Bool("list", false, "list case names and exit")
 		version  = fs.Bool("version", false, "print version and exit")
 	)
@@ -85,6 +93,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	re, err := regexp.Compile(*filter)
 	if err != nil {
 		return fmt.Errorf("bad -filter: %w", err)
+	}
+	cpus, err := parseCPUList(*cpuList)
+	if err != nil {
+		return err
 	}
 	if *list {
 		for _, c := range bench.Suite() {
@@ -111,37 +123,68 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if !re.MatchString(c.Name) {
 			continue
 		}
-		// A Ctrl-C/SIGTERM lands here between cases: abort without writing a
-		// partial trajectory file (a truncated BENCH_<date>.json would skew
-		// commit-to-commit comparisons).
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("interrupted after %d case(s), no output written: %w", len(file.Benchmarks), err)
-		}
-		fmt.Fprintf(out, "%-28s ", c.Name)
-		res := testing.Benchmark(c.F)
-		rec := Record{
-			Name:        c.Name,
-			NsPerOp:     float64(res.NsPerOp()),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-			Iterations:  res.N,
-			Extra:       res.Extra,
-		}
-		fmt.Fprintf(out, "%12.0f ns/op %10d B/op %8d allocs/op",
-			rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
-		if b, ok := base[c.Name]; ok {
-			bc := b
-			rec.Baseline = &bc
-			if rec.NsPerOp > 0 {
-				rec.Speedup = b.NsPerOp / rec.NsPerOp
+		// With no -cpu sweep the historical single-record schema is emitted
+		// (CPU=0, process-default GOMAXPROCS). With a sweep, each case yields
+		// one record per requested parallelism; the smallest value anchors the
+		// parallel-efficiency metric.
+		var baseNs float64
+		baseCPU := 0
+		for _, cpu := range cpus {
+			// A Ctrl-C/SIGTERM lands here between runs: abort without writing
+			// a partial trajectory file (a truncated BENCH_<date>.json would
+			// skew commit-to-commit comparisons).
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("interrupted after %d record(s), no output written: %w", len(file.Benchmarks), err)
 			}
-			if b.AllocsPerOp > 0 {
-				rec.AllocsRatio = float64(rec.AllocsPerOp) / float64(b.AllocsPerOp)
+			label := c.Name
+			if cpu > 0 {
+				label = fmt.Sprintf("%s@%d", c.Name, cpu)
 			}
-			fmt.Fprintf(out, "  %5.2fx vs baseline", rec.Speedup)
+			fmt.Fprintf(out, "%-28s ", label)
+			res := benchmarkAt(cpu, c.F)
+			rec := Record{
+				Name:        c.Name,
+				CPU:         cpu,
+				NsPerOp:     float64(res.NsPerOp()),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				Iterations:  res.N,
+				Extra:       res.Extra,
+			}
+			if cpu > 0 {
+				if baseCPU == 0 {
+					baseNs, baseCPU = rec.NsPerOp, cpu
+				}
+				// Efficiency of the worker pool relative to the smallest
+				// swept parallelism: observed speedup divided by the ideal
+				// cpu ratio. 1.0 = perfect scaling, below = sync overhead.
+				if rec.NsPerOp > 0 {
+					eff := baseNs * float64(baseCPU) / (rec.NsPerOp * float64(cpu))
+					if rec.Extra == nil {
+						rec.Extra = map[string]float64{}
+					}
+					rec.Extra["parallel_efficiency"] = eff
+				}
+			}
+			fmt.Fprintf(out, "%12.0f ns/op %10d B/op %8d allocs/op",
+				rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+			if eff, ok := rec.Extra["parallel_efficiency"]; ok && cpu != baseCPU {
+				fmt.Fprintf(out, "  %4.2f eff", eff)
+			}
+			if b, ok := base[recordKey(rec.Name, rec.CPU)]; ok {
+				bc := b
+				rec.Baseline = &bc
+				if rec.NsPerOp > 0 {
+					rec.Speedup = b.NsPerOp / rec.NsPerOp
+				}
+				if b.AllocsPerOp > 0 {
+					rec.AllocsRatio = float64(rec.AllocsPerOp) / float64(b.AllocsPerOp)
+				}
+				fmt.Fprintf(out, "  %5.2fx vs baseline", rec.Speedup)
+			}
+			fmt.Fprintln(out)
+			file.Benchmarks = append(file.Benchmarks, rec)
 		}
-		fmt.Fprintln(out)
-		file.Benchmarks = append(file.Benchmarks, rec)
 	}
 	if len(file.Benchmarks) == 0 {
 		return fmt.Errorf("no cases match -filter %q", *filter)
@@ -162,7 +205,51 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return nil
 }
 
-// loadBaseline indexes a prior output file by case name.
+// parseCPUList parses the -cpu flag into the GOMAXPROCS values to sweep.
+// An empty flag yields the single sentinel 0: one run at the process
+// default, recorded without a cpu field (the historical schema).
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return []int{0}, nil
+	}
+	var cpus []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -cpu %q: want comma-separated positive integers", s)
+		}
+		if !seen[v] {
+			seen[v] = true
+			cpus = append(cpus, v)
+		}
+	}
+	// Ascending order so the smallest parallelism anchors efficiency.
+	sort.Ints(cpus)
+	return cpus, nil
+}
+
+// benchmarkAt runs one case under the given GOMAXPROCS (0 = leave the
+// process default untouched), restoring the previous value afterwards.
+func benchmarkAt(cpu int, f func(b *testing.B)) testing.BenchmarkResult {
+	if cpu > 0 {
+		prev := runtime.GOMAXPROCS(cpu)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	return testing.Benchmark(f)
+}
+
+// recordKey is the baseline-lookup key: the bare case name for historical
+// single-run records, name@cpu for swept ones.
+func recordKey(name string, cpu int) string {
+	if cpu > 0 {
+		return fmt.Sprintf("%s@%d", name, cpu)
+	}
+	return name
+}
+
+// loadBaseline indexes a prior output file by case name (and cpu, for files
+// written with -cpu).
 func loadBaseline(path string) (map[string]Record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -175,7 +262,7 @@ func loadBaseline(path string) (map[string]Record, error) {
 	m := make(map[string]Record, len(f.Benchmarks))
 	for _, r := range f.Benchmarks {
 		r.Baseline = nil // do not chain baselines across generations
-		m[r.Name] = r
+		m[recordKey(r.Name, r.CPU)] = r
 	}
 	return m, nil
 }

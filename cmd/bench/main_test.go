@@ -32,6 +32,97 @@ func TestBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-baseline", "/does/not/exist.json", "-filter", "ReduceNoise"}, &sb); err == nil {
 		t.Fatal("missing baseline accepted")
 	}
+	for _, bad := range []string{"0", "-2", "x", "1,,4", "1,0"} {
+		if err := run(context.Background(), []string{"-cpu", bad, "-filter", "ReduceNoise"}, &sb); err == nil {
+			t.Fatalf("bad -cpu %q accepted", bad)
+		}
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	got, err := parseCPUList("8, 1,4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("parseCPUList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseCPUList = %v, want %v", got, want)
+		}
+	}
+	if def, err := parseCPUList(""); err != nil || len(def) != 1 || def[0] != 0 {
+		t.Fatalf("empty list = %v, %v; want [0]", def, err)
+	}
+}
+
+// TestCPUSweep runs one cheap case under -cpu 1,2 and checks that each
+// parallelism yields its own record, that efficiency is attached relative to
+// the smallest swept value, and that baselines match on name@cpu keys.
+func TestCPUSweep(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	baseFile := File{
+		Date: "2000-01-01",
+		Benchmarks: []Record{
+			{Name: "ReduceNoise", CPU: 1, NsPerOp: 1e12},
+			{Name: "ReduceNoise", CPU: 2, NsPerOp: 2e12},
+		},
+	}
+	data, err := json.Marshal(baseFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(dir, "out.json")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{
+		"-filter", "^ReduceNoise$",
+		"-cpu", "1,2",
+		"-out", outPath,
+		"-baseline", basePath,
+	}, &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("want 2 records, got %+v", f.Benchmarks)
+	}
+	for i, wantCPU := range []int{1, 2} {
+		rec := f.Benchmarks[i]
+		if rec.Name != "ReduceNoise" || rec.CPU != wantCPU {
+			t.Fatalf("record %d = %+v, want ReduceNoise@%d", i, rec, wantCPU)
+		}
+		if rec.NsPerOp <= 0 {
+			t.Fatalf("implausible measurement: %+v", rec)
+		}
+		eff, ok := rec.Extra["parallel_efficiency"]
+		if !ok || eff <= 0 {
+			t.Fatalf("record %d missing parallel_efficiency: %+v", i, rec)
+		}
+		if rec.Baseline == nil || rec.Baseline.CPU != wantCPU {
+			t.Fatalf("record %d baseline not matched per cpu: %+v", i, rec.Baseline)
+		}
+		if rec.Speedup <= 0 {
+			t.Fatalf("record %d speedup not computed: %+v", i, rec)
+		}
+	}
+	if f.Benchmarks[0].Extra["parallel_efficiency"] != 1 {
+		t.Fatalf("anchor efficiency = %v, want 1", f.Benchmarks[0].Extra["parallel_efficiency"])
+	}
 }
 
 // TestRunWritesFile runs the cheapest real case end to end, with a synthetic

@@ -40,6 +40,7 @@ func Suite() []Case {
 		{"E17Async", experimentCase("E17", 2)},
 		{"E18Topology", experimentCase("E18", 2)},
 		{"E19Memory", experimentCase("E19", 1)},
+		{"E20Crossover", experimentCase("E20", 2)},
 		{"AblationBackendExact", runCase(256, 64, noisypull.BackendExact)},
 		{"AblationBackendAggregate", runCase(256, 64, noisypull.BackendAggregate)},
 		{"AblationBackendExactHn", runCase(256, 256, noisypull.BackendExact)},
@@ -48,6 +49,11 @@ func Suite() []Case {
 		{"AblationReducedChannel", ReducedChannel},
 		{"ReduceNoise", ReduceNoise},
 		{"LargeScaleHn", LargeScaleHn},
+		{"ScaleVoter1MAggregate", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendAggregate, noisypull.VoterBaseline)},
+		{"ScaleVoter1MCounts", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendCounts, noisypull.VoterBaseline)},
+		{"ScaleMajority1MAggregate", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendAggregate, noisypull.MajorityBaseline)},
+		{"ScaleMajority1MCounts", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendCounts, noisypull.MajorityBaseline)},
+		{"ScaleMajority100MCounts", ScaleMajority100MCounts},
 		{"RunBatch", RunBatch},
 		{"RunBatchSequentialBaseline", RunBatchSequentialBaseline},
 		{"TopologyExact", TopologyExact},

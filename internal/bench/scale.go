@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+
+	"noisypull"
+)
+
+// This file holds the backend-scaling cases introduced with the counts
+// backend: identical fixed-round workloads at n = 10⁶ under the aggregate
+// and counts backends (their ns/op ratio is the per-round speedup), plus a
+// full convergence run at n = 10⁸ that only the counts backend can afford.
+
+// fixedRoundsCase measures exactly maxRounds rounds of the given baseline
+// dynamics at population n — the stability window is pushed past the round
+// budget so every backend executes the identical number of rounds.
+func fixedRoundsCase(n, h, maxRounds int, backend noisypull.Backend, proto noisypull.Protocol) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.Helper()
+		nm, err := noisypull.UniformNoise(2, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s1 := n / 100
+		if s1 < 1 {
+			s1 = 1
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := noisypull.Run(noisypull.Config{
+				N: n, H: h, Sources1: s1,
+				Noise:           nm,
+				Protocol:        proto,
+				Seed:            uint64(i + 1),
+				Backend:         backend,
+				MaxRounds:       maxRounds,
+				StabilityWindow: maxRounds + 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Rounds != maxRounds {
+				b.Fatalf("ran %d rounds, want %d", res.Rounds, maxRounds)
+			}
+		}
+	}
+}
+
+// ScaleMajority100MCounts runs h-majority with 1% zealots at n = 10⁸ to
+// full convergence on the counts backend — two orders of magnitude beyond
+// what the per-agent backends reach, at microseconds per round.
+func ScaleMajority100MCounts(b *testing.B) {
+	const n = 100_000_000
+	nm, err := noisypull.UniformNoise(2, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := noisypull.Run(noisypull.Config{
+			N: n, H: 64, Sources1: n / 100,
+			Noise:           nm,
+			Protocol:        noisypull.MajorityBaseline,
+			Seed:            uint64(i + 1),
+			Backend:         noisypull.BackendCounts,
+			MaxRounds:       2000,
+			StabilityWindow: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("n=10⁸ run did not converge: %d/%d after %d rounds", res.FinalCorrect, n, res.Rounds)
+		}
+		b.ReportMetric(float64(res.Rounds), "rounds/op")
+	}
+}

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// BenchmarkSuite runs every registered case as a sub-benchmark. CI's smoke
+// job (`go test -bench . -benchtime=1x ./internal/bench`) uses this to
+// guarantee each case at least executes once per commit — a benchmark that
+// b.Fatal()s on a regression (non-convergence, wrong round count) fails the
+// build even though full timed runs only happen via cmd/bench.
+func BenchmarkSuite(b *testing.B) {
+	for _, c := range Suite() {
+		b.Run(c.Name, c.F)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("ReduceNoise"); !ok {
+		t.Fatal("ReduceNoise missing from suite")
+	}
+	if _, ok := ByName("NoSuchCase"); ok {
+		t.Fatal("unknown name found")
+	}
+	seen := map[string]bool{}
+	for _, c := range Suite() {
+		if c.Name == "" || c.F == nil {
+			t.Fatalf("incomplete case %+v", c)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate case %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}

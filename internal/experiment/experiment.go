@@ -136,6 +136,7 @@ func registryList() []Experiment {
 		e17Async(),
 		e18Topology(),
 		e19Memory(),
+		e20Crossover(),
 	}
 }
 

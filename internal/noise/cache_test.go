@@ -1,0 +1,117 @@
+package noise
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSharedChannelReusesEqualContent(t *testing.T) {
+	a, err := Uniform(2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Uniform(2, 0.1) // distinct pointer, equal content
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("test needs distinct pointers")
+	}
+	_, ch1, err := SharedChannel(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch2, err := SharedChannel(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch1 != ch2 {
+		t.Error("content-equal matrices produced distinct channels; cache not shared")
+	}
+
+	c, err := Uniform(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch3, err := SharedChannel(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch3 == ch1 {
+		t.Error("different matrices shared one channel")
+	}
+}
+
+func TestSharedChannelComposesArtificial(t *testing.T) {
+	n, err := TwoSymbol(0.2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Reduce(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, ch, err := SharedChannel(n, red.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Compose(n, red.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(eff.At(i, j)-want.At(i, j)) > 1e-15 {
+				t.Errorf("eff[%d][%d] = %v, want composed %v", i, j, eff.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	if ch.Matrix() != eff {
+		t.Error("channel not built over the effective matrix")
+	}
+
+	// The raw matrix and the composed pair are distinct cache entries.
+	_, chRaw, err := SharedChannel(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chRaw == ch {
+		t.Error("(N, P) and (N, nil) shared one channel")
+	}
+}
+
+// TestSharedChannelConcurrent exercises the cache from many goroutines (run
+// under -race in CI): all callers of one content must end up observing
+// usable channels, and equal content converges to one instance.
+func TestSharedChannelConcurrent(t *testing.T) {
+	const workers = 16
+	mats := make([]*Matrix, workers)
+	for i := range mats {
+		m, err := Uniform(3, 0.07)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mats[i] = m
+	}
+	chans := make([]*Channel, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, ch, err := SharedChannel(mats[i], nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			chans[i] = ch
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if chans[i] != chans[0] {
+			t.Fatalf("worker %d got a different channel instance", i)
+		}
+	}
+}

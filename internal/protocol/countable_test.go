@@ -1,0 +1,239 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"noisypull/internal/rng"
+	"noisypull/internal/sim"
+)
+
+// countableEnv builds the Env for the countable tests.
+func countableEnv(n, h, alphabet, s1, s0 int) sim.Env {
+	bias := s1 - s0
+	if bias < 0 {
+		bias = -bias
+	}
+	return sim.Env{N: n, H: h, Alphabet: alphabet, Delta: 0.1, Sources: s1 + s0, Bias: bias}
+}
+
+// testRole mirrors the engine's deterministic role layout: ids [0, s1) are
+// 1-sources, [s1, s1+s0) are 0-sources.
+func testRole(id, s1, s0 int) sim.Role {
+	switch {
+	case id < s1:
+		return sim.Role{IsSource: true, Preference: 1}
+	case id < s1+s0:
+		return sim.Role{IsSource: true, Preference: 0}
+	default:
+		return sim.Role{}
+	}
+}
+
+// classify maps a freshly built agent to its countable class index by
+// inspecting the concrete agent state.
+func classify(t *testing.T, a sim.Agent) int {
+	t.Helper()
+	switch ag := a.(type) {
+	case *voterAgent:
+		if ag.role.IsSource {
+			return binSrc0 + ag.role.Preference
+		}
+		return binNon0 + ag.opinion
+	case *majorityAgent:
+		if ag.role.IsSource {
+			return binSrc0 + ag.role.Preference
+		}
+		return binNon0 + ag.opinion
+	case *trustBitAgent:
+		switch {
+		case ag.role.IsSource:
+			return tbSrc0 + ag.role.Preference
+		case ag.informed:
+			return tbInf0 + ag.opinion
+		default:
+			return tbUn0 + ag.opinion
+		}
+	default:
+		t.Fatalf("unexpected agent type %T", a)
+		return -1
+	}
+}
+
+// TestInitialCountsMatchAgents checks that InitialCounts reproduces the
+// exact class histogram of per-agent construction for the deterministic
+// corruption modes (none and wrong-consensus), for both source layouts.
+func TestInitialCountsMatchAgents(t *testing.T) {
+	protos := []struct {
+		name string
+		p    sim.CountableProtocol
+	}{
+		{"voter", Voter{}}, {"majority", MajorityRule{}}, {"trustbit", TrustBit{}},
+	}
+	modes := []sim.CorruptionMode{sim.CorruptNone, sim.CorruptWrongConsensus}
+	layouts := []struct{ s1, s0 int }{{3, 0}, {5, 2}, {2, 5}}
+	const n = 101
+	for _, pr := range protos {
+		for _, mode := range modes {
+			for _, lay := range layouts {
+				env := countableEnv(n, 4, pr.p.Alphabet(), lay.s1, lay.s0)
+				correct := 0
+				if lay.s1 > lay.s0 {
+					correct = 1
+				}
+				wrong := 1 - correct
+
+				want := make([]int, pr.p.NumStates(env))
+				for id := 0; id < n; id++ {
+					a := pr.p.NewAgent(id, testRole(id, lay.s1, lay.s0), env)
+					if mode != sim.CorruptNone {
+						stream := rng.Derive(7, uint64(id))
+						a.(sim.Corruptible).Corrupt(mode, wrong, stream)
+					}
+					want[classify(t, a)]++
+				}
+
+				got := make([]int, pr.p.NumStates(env))
+				stream := rng.New(7)
+				pr.p.InitialCounts(env, sim.CountsInit{
+					Sources1: lay.s1, Sources0: lay.s0,
+					Corruption: mode, WrongOpinion: wrong, Stream: stream,
+				}, got)
+
+				for s := range want {
+					if got[s] != want[s] {
+						t.Errorf("%s mode=%v s1=%d s0=%d: class %d counts %d, agents give %d",
+							pr.name, mode, lay.s1, lay.s0, s, got[s], want[s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInitialCountsRandomCorruption checks the randomized corruption split:
+// totals must be exact and the binomial split must stay within 6 sigma of
+// its mean (deterministic given the fixed seed; the bound documents why).
+func TestInitialCountsRandomCorruption(t *testing.T) {
+	const n, s1, s0 = 10001, 3, 0
+	ns := n - s1 - s0
+	for _, pr := range []struct {
+		name string
+		p    sim.CountableProtocol
+	}{{"voter", Voter{}}, {"majority", MajorityRule{}}, {"trustbit", TrustBit{}}} {
+		env := countableEnv(n, 4, pr.p.Alphabet(), s1, s0)
+		got := make([]int, pr.p.NumStates(env))
+		pr.p.InitialCounts(env, sim.CountsInit{
+			Sources1: s1, Sources0: s0,
+			Corruption: sim.CorruptRandom, WrongOpinion: 0, Stream: rng.New(11),
+		}, got)
+		total := 0
+		for _, c := range got {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("%s: counts sum to %d, want %d", pr.name, total, n)
+		}
+		var ones int
+		if pr.p.Alphabet() == 2 {
+			ones = got[binNon1]
+		} else {
+			ones = got[tbUn1] + got[tbInf1]
+		}
+		mean, sigma := float64(ns)/2, math.Sqrt(float64(ns))/2
+		if math.Abs(float64(ones)-mean) > 6*sigma {
+			t.Errorf("%s: random corruption put %d agents on opinion 1, want %v +- %v", pr.name, ones, mean, 6*sigma)
+		}
+	}
+}
+
+// TestTransitionRowsAreStochastic sweeps observation distributions and
+// checks every class's transition row is a probability vector.
+func TestTransitionRowsAreStochastic(t *testing.T) {
+	obsGrids := map[int][][]float64{
+		2: {{1, 0}, {0, 1}, {0.5, 0.5}, {0.9, 0.1}, {0.123, 0.877}},
+		4: {{1, 0, 0, 0}, {0, 0, 0, 1}, {0.25, 0.25, 0.25, 0.25}, {0.7, 0.1, 0.15, 0.05}, {0.5, 0.5, 0, 0}},
+	}
+	for _, pr := range []struct {
+		name string
+		p    sim.CountableProtocol
+	}{{"voter", Voter{}}, {"majority", MajorityRule{}}, {"trustbit", TrustBit{}}} {
+		for _, h := range []int{1, 2, 3, 5, 8, 33} {
+			env := countableEnv(1000, h, pr.p.Alphabet(), 3, 0)
+			k := pr.p.NumStates(env)
+			row := make([]float64, k)
+			for _, obs := range obsGrids[pr.p.Alphabet()] {
+				for s := 0; s < k; s++ {
+					pr.p.TransitionRow(env, s, obs, row)
+					sum := 0.0
+					for _, p := range row {
+						if p < 0 || p > 1+1e-12 || math.IsNaN(p) {
+							t.Fatalf("%s h=%d class %d obs=%v: bad probability %v in row %v", pr.name, h, s, obs, p, row)
+						}
+						sum += p
+					}
+					if math.Abs(sum-1) > 1e-9 {
+						t.Fatalf("%s h=%d class %d obs=%v: row sums to %v", pr.name, h, s, obs, sum)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrustBitRowMatchesEnumeration cross-checks the TrustBit transition
+// row against exact enumeration of all observation-count outcomes for small
+// h, replaying the per-agent Observe logic with tie mass split in half.
+func TestTrustBitRowMatchesEnumeration(t *testing.T) {
+	p := TrustBit{}
+	obs := []float64{0.3, 0.25, 0.25, 0.2}
+	for _, h := range []int{1, 2, 3, 4} {
+		env := countableEnv(1000, h, 4, 3, 0)
+		for state := 0; state < tbStates; state++ {
+			want := make([]float64, tbStates)
+			// Enumerate observation counts (c0, c1, c2, c3) with sum h.
+			for c0 := 0; c0 <= h; c0++ {
+				for c1 := 0; c0+c1 <= h; c1++ {
+					for c2 := 0; c0+c1+c2 <= h; c2++ {
+						c3 := h - c0 - c1 - c2
+						prob := multinomialPMF(h, []int{c0, c1, c2, c3}, obs)
+						switch {
+						case state == tbSrc0 || state == tbSrc1:
+							want[state] += prob
+						case c2+c3 == 0:
+							want[state] += prob
+						case c3 > c2:
+							want[tbInf1] += prob
+						case c2 > c3:
+							want[tbInf0] += prob
+						default: // tie: fair coin
+							want[tbInf1] += prob / 2
+							want[tbInf0] += prob / 2
+						}
+					}
+				}
+			}
+			row := make([]float64, tbStates)
+			p.TransitionRow(env, state, obs, row)
+			for s := range want {
+				if math.Abs(row[s]-want[s]) > 1e-12 {
+					t.Errorf("h=%d state=%d: row[%d] = %v, enumeration gives %v", h, state, s, row[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+// multinomialPMF returns the Multinomial(n, probs) mass at counts.
+func multinomialPMF(n int, counts []int, probs []float64) float64 {
+	lgN, _ := math.Lgamma(float64(n) + 1)
+	logp := lgN
+	for i, c := range counts {
+		lgC, _ := math.Lgamma(float64(c) + 1)
+		logp -= lgC
+		if c > 0 {
+			logp += float64(c) * math.Log(probs[i])
+		}
+	}
+	return math.Exp(logp)
+}

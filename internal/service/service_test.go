@@ -67,7 +67,9 @@ func TestSpecValidation(t *testing.T) {
 		{Protocol: "ssf", N: 100, H: 4, Sources1: 1, P01: &p, P10: &p},   // binary channel, alphabet 4
 		{Protocol: "sf", N: 100, H: 4, Sources1: 1, Delta: 0.2, Corruption: "sideways"},
 		{Protocol: "sf", N: 100, H: 4, Sources1: 1, Delta: 0.2, Backend: "warp"},
-		{Protocol: "sf", N: 1, H: 4, Sources1: 1, Delta: 0.2}, // engine validation bubbles up
+		{Protocol: "sf", N: 1, H: 4, Sources1: 1, Delta: 0.2},                   // engine validation bubbles up
+		{Protocol: "sf", N: 100, H: 4, Sources1: 1, Delta: 0.2, Backend: "counts"}, // SF is not countable
+		{Protocol: "ssf", N: 100, H: 4, Sources1: 1, Delta: 0.2, Backend: "counts"},
 	}
 	for i, spec := range bad {
 		if _, err := s.Submit(spec); err == nil {
@@ -115,6 +117,49 @@ func TestJobDoneMatchesDirectRun(t *testing.T) {
 	}
 	if final.Started == nil || final.Finished == nil {
 		t.Fatal("terminal job missing timestamps")
+	}
+}
+
+// TestCountsBackendJob: a counts-backend job for a countable baseline is
+// accepted, runs (two seeds share one leased runner via Reset), and matches
+// direct noisypull.Run results bit-for-bit.
+func TestCountsBackendJob(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	spec := JobSpec{
+		N: 100000, H: 8, Sources1: 100, Sources0: 0,
+		Delta:     0.1,
+		Protocol:  "majority",
+		Backend:   "counts",
+		MaxRounds: 200,
+		Seeds:     []uint64{3, 8},
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, s, st.ID, StateDone)
+	if len(final.Results) != 2 {
+		t.Fatalf("done job has %d results, want 2", len(final.Results))
+	}
+	nm, err := noisypull.UniformNoise(2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range final.Results {
+		want, err := noisypull.Run(noisypull.Config{
+			N: 100000, H: 8, Sources1: 100,
+			Noise: nm, Protocol: noisypull.MajorityBaseline,
+			Backend: noisypull.BackendCounts, MaxRounds: 200,
+			Seed: sr.Seed, Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Rounds != want.Rounds || sr.Converged != want.Converged ||
+			sr.FinalCorrect != want.FinalCorrect {
+			t.Fatalf("seed %d: service %+v != direct %+v", sr.Seed, sr, want)
+		}
 	}
 }
 

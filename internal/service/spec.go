@@ -34,7 +34,8 @@ type JobSpec struct {
 	StabilityWindow int `json:"stability_window,omitempty"`
 	// Corruption is the adversarial initialization: none, wrong, random.
 	Corruption string `json:"corruption,omitempty"`
-	// Backend selects the observation sampler: auto, exact, aggregate.
+	// Backend selects the observation sampler: auto, exact, aggregate, or
+	// counts (baseline protocols only; rejected at submission otherwise).
 	Backend string `json:"backend,omitempty"`
 	// Seeds lists the independent trials to run, in order. Empty means the
 	// single seed 1.
@@ -142,6 +143,11 @@ func (s *JobSpec) build() (noisypull.Config, error) {
 		backend = noisypull.BackendExact
 	case "aggregate":
 		backend = noisypull.BackendAggregate
+	case "counts":
+		// Countability is checked by cfg.Check() below, so a spec pairing
+		// the counts backend with a non-countable protocol fails here at
+		// submission time (HTTP 400), not later as a failed job.
+		backend = noisypull.BackendCounts
 	default:
 		return zero, fmt.Errorf("spec: unknown backend %q", s.Backend)
 	}

@@ -45,6 +45,9 @@ func NewAsync(cfg Config) (*AsyncRunner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Backend == BackendCounts {
+		return nil, fmt.Errorf("sim: backend %v tracks class counts, not individual agents, and has no asynchronous schedule; use exact or aggregate", cfg.Backend)
+	}
 	backend := cfg.Backend
 	if backend == BackendAuto {
 		if cfg.H <= autoExactLimit || cfg.Topology != nil {

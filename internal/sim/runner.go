@@ -36,7 +36,8 @@ type Runner struct {
 
 	scratch []workerScratch
 	pool    *pool
-	ran     bool // Run consumed since the last New/Reset
+	ce      *countsEngine // non-nil iff backend == BackendCounts
+	ran     bool          // Run consumed since the last New/Reset
 }
 
 // workerScratch is the preallocated private state of one worker: its agent
@@ -73,22 +74,42 @@ func New(cfg Config) (*Runner, error) {
 	// Fold the artificial channel (Theorem 8) into the communication channel
 	// once: a sample pushed through N and then P is distributed exactly as
 	// one pushed through N·P, so the hot loops apply a single composed
-	// channel instead of two.
-	eff := cfg.Noise
-	if cfg.Artificial != nil {
-		var err error
-		eff, err = noise.Compose(cfg.Noise, cfg.Artificial)
-		if err != nil {
-			return nil, fmt.Errorf("sim: composing artificial noise: %w", err)
-		}
-	}
-	ch, err := noise.NewChannel(eff)
+	// channel instead of two. The composed matrix and its alias tables are
+	// immutable, so runners with content-equal channels (RunBatch fleets,
+	// service runner leases) share one instance from a process-wide cache.
+	eff, ch, err := noise.SharedChannel(cfg.Noise, cfg.Artificial)
 	if err != nil {
 		return nil, fmt.Errorf("sim: building noise channel: %w", err)
 	}
 
 	env := cfg.Env()
 	d := env.Alphabet
+
+	if backend == BackendCounts {
+		// Countable populations carry no per-agent state: skip agent slabs,
+		// per-agent streams, worker scratch, and the pool entirely, so a
+		// counts runner for n = 10⁹ costs O(K + |Σ|) memory.
+		ce, err := newCountsEngine(cfg.Protocol.(CountableProtocol), env)
+		if err != nil {
+			return nil, err
+		}
+		r := &Runner{
+			cfg:     cfg,
+			env:     env,
+			channel: ch,
+			effRows: make([][]float64, d),
+			backend: backend,
+			workers: 1,
+			correct: cfg.CorrectOpinion(),
+			ce:      ce,
+		}
+		for sigma := 0; sigma < d; sigma++ {
+			r.effRows[sigma] = eff.Row(sigma)
+		}
+		r.initPopulation()
+		return r, nil
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -157,6 +178,10 @@ func New(cfg Config) (*Runner, error) {
 // bit-identical to a fresh one.
 func (r *Runner) initPopulation() {
 	cfg := &r.cfg
+	if r.ce != nil {
+		r.ce.reset(cfg, r.env, r.correct)
+		return
+	}
 	for i := range r.streams {
 		r.streams[i].Reseed(rng.DeriveSeed(cfg.Seed, uint64(i)))
 	}
@@ -220,8 +245,21 @@ func roleOf(id, s1, s0 int) Role {
 }
 
 // Agents exposes the instantiated agents (read-only use intended: tests and
-// diagnostics inspect protocol state through it).
+// diagnostics inspect protocol state through it). It is nil for the counts
+// backend, which materializes no individual agents; use ClassCounts there.
 func (r *Runner) Agents() []Agent { return r.agents }
+
+// ClassCounts returns a copy of the current per-class population counts of a
+// counts-backend runner (the protocol's CountableProtocol class indexing),
+// or nil for the per-agent backends.
+func (r *Runner) ClassCounts() []int {
+	if r.ce == nil {
+		return nil
+	}
+	out := make([]int, len(r.ce.counts))
+	copy(out, r.ce.counts)
+	return out
+}
 
 // Env returns the environment the agents were built with.
 func (r *Runner) Env() Env { return r.env }
@@ -348,6 +386,9 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 // spawns no goroutines: both phases run on the persistent worker pool with
 // preallocated scratch.
 func (r *Runner) step() (int, error) {
+	if r.ce != nil {
+		return r.ce.step(r)
+	}
 	// Phase A: snapshot displays, counting symbols in per-worker shards.
 	if r.pool != nil {
 		r.pool.dispatch(phaseSnapshot)

@@ -7,7 +7,7 @@
 // displayed symbol drawn from the noise matrix row; finally every agent
 // updates its state from the multiset of observations.
 //
-// The engine offers two observation backends with identical distributions:
+// The engine offers three observation backends with identical distributions:
 //
 //   - BackendExact draws every one of the h samples individually:
 //     O(h) work per agent-round. Best for small h.
@@ -15,6 +15,12 @@
 //     Multinomial(h, counts/n) distributed, and pushing k copies of symbol σ
 //     through the channel multinomially distributes them over row N[σ].
 //     O(|Σ|²) work per agent-round, enabling h = n at large n.
+//   - BackendCounts drops per-agent state entirely for protocols whose
+//     agents are exchangeable within a small set of state classes
+//     (CountableProtocol): the population is a vector of class counts and
+//     each round multinomially partitions every class over its successor
+//     classes. O(K·(K+|Σ|)) work per round — independent of n — enabling
+//     n = 10⁸–10⁹.
 //
 // Protocols receive observations as per-symbol counts, which is exactly the
 // information available to the anonymous agents of the model (observations
@@ -46,6 +52,11 @@ const (
 	BackendExact
 	// BackendAggregate samples per-symbol counts via nested multinomials.
 	BackendAggregate
+	// BackendCounts advances the population as state-class counts; it
+	// requires a CountableProtocol and the complete graph. Per-round cost is
+	// independent of n, and the round distribution is identical to the
+	// per-agent backends (see counts.go).
+	BackendCounts
 )
 
 // autoExactLimit is the h at or below which BackendAuto picks the exact
@@ -61,6 +72,8 @@ func (b Backend) String() string {
 		return "exact"
 	case BackendAggregate:
 		return "aggregate"
+	case BackendCounts:
+		return "counts"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
 	}
@@ -126,6 +139,58 @@ type Protocol interface {
 type BulkProtocol interface {
 	Protocol
 	NewAgents(n int, env Env, role func(id int) Role) []Agent
+}
+
+// CountableProtocol is an optional Protocol extension for protocols whose
+// agents are exchangeable within a small finite set of state equivalence
+// classes (all agents in one class display the same symbol, hold the same
+// opinion, and share one transition law). Such populations can be advanced
+// as class counts instead of individuals (BackendCounts): given the round's
+// display snapshot, every agent's h observations are iid draws from the same
+// per-observation distribution, agents transition independently, and the
+// number of class-s agents moving to each successor class is exactly
+// Multinomial(count[s], TransitionRow(s)). The counts backend is therefore
+// distribution-identical to the per-agent backends, not a mean-field
+// approximation.
+//
+// Implementations must keep the class semantics consistent with NewAgent:
+// InitialCounts must reproduce the class histogram of a freshly built
+// per-agent population (including corruption), DisplayOf/OpinionOf must
+// match Agent.Display/Opinion for agents in the class, and TransitionRow
+// must equal the conditional law of one agent's update given its class and
+// the observation distribution.
+type CountableProtocol interface {
+	Protocol
+	// NumStates returns the number K of agent-state equivalence classes.
+	NumStates(env Env) int
+	// DisplayOf returns the symbol in [0, |Σ|) displayed by agents of the
+	// class.
+	DisplayOf(env Env, state int) int
+	// OpinionOf returns the opinion in {0, 1} held by agents of the class.
+	OpinionOf(env Env, state int) int
+	// InitialCounts fills counts (length NumStates) with the number of
+	// agents starting in each class, distribution-identical to per-agent
+	// construction under init's corruption mode. init.Stream drives any
+	// randomized initialization.
+	InitialCounts(env Env, init CountsInit, counts []int)
+	// TransitionRow fills row (length NumStates) with the probability that
+	// an agent currently in the class moves to each class this round, given
+	// that each of its env.H observations is independently distributed over
+	// the alphabet as obs (which sums to 1).
+	TransitionRow(env Env, state int, obs []float64, row []float64)
+}
+
+// CountsInit carries the population-initialization inputs a
+// CountableProtocol needs to reproduce per-agent construction as counts.
+type CountsInit struct {
+	// Sources1 and Sources0 are the source counts preferring 1 and 0.
+	Sources1, Sources0 int
+	// Corruption is the adversarial initialization mode.
+	Corruption CorruptionMode
+	// WrongOpinion is the complement of the correct opinion.
+	WrongOpinion int
+	// Stream drives randomized initialization (e.g. CorruptRandom splits).
+	Stream *rng.Stream
 }
 
 // Finite is implemented by protocols with a predetermined duration (such as
@@ -293,9 +358,18 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: artificial noise alphabet %d != protocol alphabet %d", c.Artificial.Alphabet(), d)
 	}
 	switch c.Backend {
-	case BackendAuto, BackendExact, BackendAggregate:
+	case BackendAuto, BackendExact, BackendAggregate, BackendCounts:
 	default:
 		return fmt.Errorf("sim: unknown backend %d", int(c.Backend))
+	}
+	if c.Backend == BackendCounts {
+		cp, ok := c.Protocol.(CountableProtocol)
+		if !ok {
+			return fmt.Errorf("sim: protocol %T does not implement CountableProtocol; the counts backend needs exchangeable state classes (use exact or aggregate)", c.Protocol)
+		}
+		if k := cp.NumStates(c.Env()); k < 1 {
+			return fmt.Errorf("sim: countable protocol reports %d state classes", k)
+		}
 	}
 	if c.Topology != nil {
 		if c.Topology.N() != c.N {
@@ -304,8 +378,8 @@ func (c *Config) Validate() error {
 		if c.Topology.MinDegree() < 1 {
 			return errors.New("sim: topology has an isolated vertex; every agent needs at least one neighbor to sample")
 		}
-		if c.Backend == BackendAggregate {
-			return errors.New("sim: the aggregate backend requires the complete graph; use BackendExact (or BackendAuto) with a topology")
+		if c.Backend == BackendAggregate || c.Backend == BackendCounts {
+			return fmt.Errorf("sim: the %v backend requires the complete graph; use BackendExact (or BackendAuto) with a topology", c.Backend)
 		}
 	}
 	if c.MaxRounds < 0 {

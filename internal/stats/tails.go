@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides O(1) exact binomial tail probabilities via the
+// regularized incomplete beta function, used by the counts backend's
+// per-class transition rows (h-majority and the trust-bit cascade evaluate
+// majority-win probabilities for every occupied class every round, so the
+// O(n) summation of BinomCDF would put n back into the round cost).
+
+// logBeta returns ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b).
+func logBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// BetaInc returns the regularized incomplete beta function I_x(a, b),
+// evaluated by the modified-Lentz continued fraction, switching to the
+// symmetry I_x(a,b) = 1 − I_{1−x}(b,a) where the fraction converges faster.
+// It panics for a ≤ 0 or b ≤ 0; x is clamped to [0, 1].
+func BetaInc(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic(fmt.Sprintf("stats: BetaInc with non-positive shape (a=%v, b=%v)", a, b))
+	}
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	front := math.Exp(a*math.Log(x) + b*math.Log1p(-x) - logBeta(a, b))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta function
+// (Numerical Recipes §6.4 form) with the modified Lentz algorithm.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-15
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// BinomTail returns the upper tail P(X ≥ k) for X ~ Binomial(n, p), exactly
+// (to float precision) in O(1) via the identity P(X ≥ k) = I_p(k, n−k+1).
+func BinomTail(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if p <= 0 {
+		return 0 // k ≥ 1 here
+	}
+	if p >= 1 {
+		return 1
+	}
+	return BetaInc(float64(k), float64(n-k+1), p)
+}
+
+// MajorityWin returns the probability that m iid Bernoulli(p) votes elect 1
+// under the simulator's majority rule: ones > zeros wins outright, an exact
+// tie is broken by a fair coin. MajorityWin(0, p) = 1/2 (a pure coin toss).
+func MajorityWin(m int, p float64) float64 {
+	if m <= 0 {
+		return 0.5
+	}
+	if m%2 == 1 {
+		return BinomTail(m, p, (m+1)/2)
+	}
+	return BinomTail(m, p, m/2+1) + 0.5*BinomPMF(m, p, m/2)
+}

@@ -21,6 +21,9 @@ type (
 	Reduction = noise.Reduction
 	// Protocol builds per-agent state machines for the simulator.
 	Protocol = sim.Protocol
+	// CountableProtocol extends Protocol with the state-class interface the
+	// counts backend needs (BackendCounts); the three baselines implement it.
+	CountableProtocol = sim.CountableProtocol
 	// Agent is one protocol instance inside a simulation.
 	Agent = sim.Agent
 	// Role describes an agent's source status.
@@ -48,6 +51,10 @@ const (
 	BackendAuto      = sim.BackendAuto
 	BackendExact     = sim.BackendExact
 	BackendAggregate = sim.BackendAggregate
+	// BackendCounts advances the population as state-class counts; per-round
+	// cost is independent of n. Requires a CountableProtocol and the
+	// complete graph.
+	BackendCounts = sim.BackendCounts
 
 	CorruptNone           = sim.CorruptNone
 	CorruptWrongConsensus = sim.CorruptWrongConsensus
