@@ -43,6 +43,7 @@ func BenchmarkE17Async(b *testing.B)       { run(b, "E17Async") }
 func BenchmarkE18Topology(b *testing.B)    { run(b, "E18Topology") }
 func BenchmarkE19Memory(b *testing.B)      { run(b, "E19Memory") }
 func BenchmarkE20Crossover(b *testing.B)   { run(b, "E20Crossover") }
+func BenchmarkE21Faults(b *testing.B)      { run(b, "E21Faults") }
 
 // AblationBackend compares the two observation backends at the same shape
 // (DESIGN.md §3 choice 1): the aggregate path costs O(|Σ|²) per agent-round

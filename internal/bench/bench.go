@@ -41,6 +41,7 @@ func Suite() []Case {
 		{"E18Topology", experimentCase("E18", 2)},
 		{"E19Memory", experimentCase("E19", 1)},
 		{"E20Crossover", experimentCase("E20", 2)},
+		{"E21Faults", experimentCase("E21", 2)},
 		{"AblationBackendExact", runCase(256, 64, noisypull.BackendExact)},
 		{"AblationBackendAggregate", runCase(256, 64, noisypull.BackendAggregate)},
 		{"AblationBackendExactHn", runCase(256, 256, noisypull.BackendExact)},

@@ -137,6 +137,7 @@ func registryList() []Experiment {
 		e18Topology(),
 		e19Memory(),
 		e20Crossover(),
+		e21Faults(),
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestRegistryShape(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("registered %d experiments, want 20", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registered %d experiments, want 21", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -38,10 +38,10 @@ func TestByID(t *testing.T) {
 
 func TestIDsNumericOrder(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("IDs = %v", ids)
 	}
-	if ids[0] != "E1" || ids[1] != "E2" || ids[9] != "E10" || ids[19] != "E20" {
+	if ids[0] != "E1" || ids[1] != "E2" || ids[9] != "E10" || ids[20] != "E21" {
 		t.Fatalf("IDs not in numeric order: %v", ids)
 	}
 }

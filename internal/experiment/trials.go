@@ -140,6 +140,25 @@ feed:
 	return batch, nil
 }
 
+// runTrialsRaw executes trials of one fixed configuration (seeds derived
+// from opts as in runTrials) and returns the per-trial Results unaggregated.
+// Experiments that need fields trialBatch drops — fault telemetry, opinion
+// histories — use this instead of runTrials.
+func runTrialsRaw(opts Options, gridPoint, trials int, cfg sim.Config) ([]*sim.Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("experiment: trials = %d", trials)
+	}
+	seeds := make([]uint64, trials)
+	for t := range seeds {
+		seeds[t] = trialSeed(opts.Seed, gridPoint, t)
+	}
+	results, err := sim.RunBatchContext(opts.ctx(), cfg, seeds, opts.Parallel)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: grid point %d: %w", gridPoint, err)
+	}
+	return results, nil
+}
+
 // lnF returns the natural log of n as a float64.
 func lnF(n int) float64 {
 	return math.Log(float64(n))

@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"noisypull/internal/noise"
+)
+
+func uniform2(t *testing.T, delta float64) *noise.Matrix {
+	t.Helper()
+	m, err := noise.Uniform(2, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindCorrupt:    "corrupt",
+		KindCrash:      "crash",
+		KindChurn:      "churn",
+		KindNoiseSwap:  "noise-swap",
+		KindNoiseDrift: "noise-drift",
+		Kind(99):       "Kind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	modes := map[Corruption]string{
+		CorruptNone:           "none",
+		CorruptWrongConsensus: "wrong-consensus",
+		CorruptRandom:         "random",
+	}
+	for c, want := range modes {
+		if got := c.String(); got != want {
+			t.Errorf("Corruption(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	m := uniform2(t, 0.3)
+	s := &Schedule{Events: []Event{
+		{Kind: KindCorrupt, Round: 5, Fraction: 0.5, Corruption: CorruptRandom},
+		{Kind: KindCrash, WindowLo: 3, WindowHi: 9, Fraction: 1, Duration: 4},
+		{Kind: KindChurn, Round: 2, Fraction: 0.1},
+		{Kind: KindChurn, Round: 2, Fraction: 0.1, Corruption: CorruptWrongConsensus},
+		{Kind: KindNoiseSwap, Round: 7, Matrix: m},
+		{Kind: KindNoiseDrift, Round: 1, Delta: 0.5, DriftRounds: 10},
+	}}
+	if err := s.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	var nilSched *Schedule
+	if err := nilSched.Validate(2); err != nil {
+		t.Fatalf("nil schedule: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m2 := uniform2(t, 0.3)
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"negative round", Event{Kind: KindChurn, Round: -1, Fraction: 0.5}},
+		{"window without lo", Event{Kind: KindChurn, WindowHi: 5, Fraction: 0.5}},
+		{"inverted window", Event{Kind: KindChurn, WindowLo: 9, WindowHi: 3, Fraction: 0.5}},
+		{"fixed round with window", Event{Kind: KindChurn, Round: 4, WindowLo: 1, WindowHi: 2, Fraction: 0.5}},
+		{"zero fraction", Event{Kind: KindCorrupt, Round: 1, Corruption: CorruptRandom}},
+		{"fraction above one", Event{Kind: KindCorrupt, Round: 1, Fraction: 1.5, Corruption: CorruptRandom}},
+		{"corrupt without mode", Event{Kind: KindCorrupt, Round: 1, Fraction: 0.5}},
+		{"corrupt bad mode", Event{Kind: KindCorrupt, Round: 1, Fraction: 0.5, Corruption: Corruption(9)}},
+		{"crash without duration", Event{Kind: KindCrash, Round: 1, Fraction: 0.5}},
+		{"churn bad mode", Event{Kind: KindChurn, Round: 1, Fraction: 0.5, Corruption: Corruption(9)}},
+		{"swap without matrix", Event{Kind: KindNoiseSwap, Round: 1}},
+		{"swap alphabet mismatch", Event{Kind: KindNoiseSwap, Round: 1, Matrix: m2}},
+		{"drift without rounds", Event{Kind: KindNoiseDrift, Round: 1, Delta: 0.1}},
+		{"drift delta too high", Event{Kind: KindNoiseDrift, Round: 1, Delta: 0.6, DriftRounds: 3}},
+		{"drift negative delta", Event{Kind: KindNoiseDrift, Round: 1, Delta: -0.1, DriftRounds: 3}},
+		{"unknown kind", Event{Kind: Kind(42), Round: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			alphabet := 2
+			if tc.name == "swap alphabet mismatch" {
+				alphabet = 4
+			}
+			s := &Schedule{Events: []Event{tc.ev}}
+			err := s.Validate(alphabet)
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), "event 0") {
+				t.Fatalf("error %q does not name the offending event", err)
+			}
+		})
+	}
+	if err := (&Schedule{}).Validate(2); err == nil {
+		t.Fatal("Validate accepted an empty schedule")
+	}
+}
+
+func TestCompileDeterministicAndOrdered(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: KindChurn, WindowLo: 10, WindowHi: 30, Fraction: 0.5},
+		{Kind: KindCorrupt, Round: 5, Fraction: 1, Corruption: CorruptRandom},
+		{Kind: KindCrash, WindowLo: 1, WindowHi: 100, Fraction: 0.5, Duration: 2},
+		{Kind: KindChurn, Round: 5, Fraction: 0.2},
+	}}
+	a := s.Compile(42)
+	b := s.Compile(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Compile is not deterministic for equal seeds")
+	}
+	if len(a) != len(s.Events) {
+		t.Fatalf("compiled %d events, want %d", len(a), len(s.Events))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Round < a[i-1].Round ||
+			(a[i].Round == a[i-1].Round && a[i].Index < a[i-1].Index) {
+			t.Fatalf("timeline out of order at %d: %+v", i, a)
+		}
+	}
+	for _, te := range a {
+		ev := s.Events[te.Index]
+		if ev.Round > 0 {
+			if te.Round != ev.Round {
+				t.Fatalf("fixed event %d compiled to round %d", te.Index, te.Round)
+			}
+		} else if te.Round < ev.WindowLo || te.Round > ev.WindowHi {
+			t.Fatalf("random event %d landed at %d outside [%d, %d]", te.Index, te.Round, ev.WindowLo, ev.WindowHi)
+		}
+	}
+	// A different seed must (eventually) move a random fire round.
+	moved := false
+	for seed := uint64(1); seed < 20 && !moved; seed++ {
+		for _, te := range s.Compile(seed) {
+			if s.Events[te.Index].Round == 0 && te.Round != roundOf(a, te.Index) {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("random fire rounds never vary with the seed")
+	}
+	if got := (&Schedule{}).Compile(7); got != nil {
+		t.Fatalf("empty schedule compiled to %v", got)
+	}
+}
+
+func roundOf(tl []Timed, index int) int {
+	for _, te := range tl {
+		if te.Index == index {
+			return te.Round
+		}
+	}
+	return -1
+}

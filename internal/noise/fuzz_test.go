@@ -1,0 +1,52 @@
+package noise
+
+// FuzzFromRows exercises noise-matrix validation with arbitrary entries:
+// FromRows must either reject the input or return a matrix whose derived
+// quantities (bounds, channel composition with itself) are well-defined —
+// never panic, never accept a non-stochastic matrix. The fuzzer drives a
+// flat entry list reshaped into the largest square it fills.
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzFromRows(f *testing.F) {
+	f.Add(float64(0.9), float64(0.1), float64(0.1), float64(0.9))
+	f.Add(float64(0.5), float64(0.5), float64(0.5), float64(0.5))
+	f.Add(float64(1), float64(0), float64(0), float64(1))
+	f.Add(float64(-0.1), float64(1.1), float64(0.3), float64(0.7))
+	f.Add(math.NaN(), float64(0.5), math.Inf(1), float64(0))
+	f.Add(float64(0.25), float64(0.75), float64(1e-300), float64(1))
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		rows := [][]float64{{a, b}, {c, d}}
+		m, err := FromRows(rows)
+		if err != nil {
+			return
+		}
+		// An accepted matrix must actually be stochastic...
+		for i := 0; i < 2; i++ {
+			sum := 0.0
+			for j := 0; j < 2; j++ {
+				v := m.At(i, j)
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted matrix has entry %v at (%d,%d)", v, i, j)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("accepted matrix row %d sums to %v", i, sum)
+			}
+		}
+		// ...and support the operations the engine performs on it.
+		if lo, hi := m.LowerDelta(), m.UpperDelta(); math.IsNaN(lo) || math.IsNaN(hi) || lo > hi+1e-12 {
+			t.Fatalf("delta bounds lo=%v hi=%v", lo, hi)
+		}
+		if _, err := Compose(m, m); err != nil {
+			t.Fatalf("self-composition of an accepted matrix failed: %v", err)
+		}
+		if _, err := NewChannel(m); err != nil {
+			t.Fatalf("channel construction for an accepted matrix failed: %v", err)
+		}
+	})
+}

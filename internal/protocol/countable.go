@@ -226,9 +226,71 @@ func (TrustBit) TransitionRow(env sim.Env, state int, obs, row []float64) {
 	row[tbInf0] += pWin0
 }
 
-// Compile-time interface checks: the three baselines must stay countable.
+// --- Mid-run corruption rows (sim.CountableCorruptible) ---
+//
+// CorruptRow must match the per-agent Corrupt methods in baselines.go: a
+// corrupted non-source lands in the wrong-consensus class (or a coin-flip
+// class under CorruptRandom), sources are untouched (identity row).
+
+// binCorruptRow is the shared binary-layout corrupt row: Voter and
+// MajorityRule agents carry only the opinion bit.
+func binCorruptRow(state int, mode sim.CorruptionMode, wrongOpinion int, row []float64) {
+	for i := range row {
+		row[i] = 0
+	}
+	if state == binSrc0 || state == binSrc1 {
+		row[state] = 1
+		return
+	}
+	switch mode {
+	case sim.CorruptWrongConsensus:
+		row[binNon0+wrongOpinion] = 1
+	case sim.CorruptRandom:
+		row[binNon0] = 0.5
+		row[binNon1] = 0.5
+	default:
+		row[state] = 1
+	}
+}
+
+// CorruptRow implements sim.CountableCorruptible.
+func (Voter) CorruptRow(env sim.Env, state int, mode sim.CorruptionMode, wrongOpinion int, row []float64) {
+	binCorruptRow(state, mode, wrongOpinion, row)
+}
+
+// CorruptRow implements sim.CountableCorruptible.
+func (MajorityRule) CorruptRow(env sim.Env, state int, mode sim.CorruptionMode, wrongOpinion int, row []float64) {
+	binCorruptRow(state, mode, wrongOpinion, row)
+}
+
+// CorruptRow implements sim.CountableCorruptible: wrong-consensus makes the
+// agent informed with the wrong opinion; random draws the informed flag and
+// the opinion as independent fair coins (a uniform 4-way split), exactly as
+// trustBitAgent.Corrupt does.
+func (TrustBit) CorruptRow(env sim.Env, state int, mode sim.CorruptionMode, wrongOpinion int, row []float64) {
+	for i := range row {
+		row[i] = 0
+	}
+	if state == tbSrc0 || state == tbSrc1 {
+		row[state] = 1
+		return
+	}
+	switch mode {
+	case sim.CorruptWrongConsensus:
+		row[tbInf0+wrongOpinion] = 1
+	case sim.CorruptRandom:
+		row[tbUn0], row[tbUn1] = 0.25, 0.25
+		row[tbInf0], row[tbInf1] = 0.25, 0.25
+	default:
+		row[state] = 1
+	}
+}
+
+// Compile-time interface checks: the three baselines must stay countable
+// (and corruptible as counts, so the counts backend supports mid-run
+// corruption faults).
 var (
-	_ sim.CountableProtocol = Voter{}
-	_ sim.CountableProtocol = MajorityRule{}
-	_ sim.CountableProtocol = TrustBit{}
+	_ sim.CountableCorruptible = Voter{}
+	_ sim.CountableCorruptible = MajorityRule{}
+	_ sim.CountableCorruptible = TrustBit{}
 )

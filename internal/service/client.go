@@ -8,7 +8,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -19,6 +21,15 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// MaxRetries bounds the retries (attempts beyond the first) of a
+	// request that failed retryably: HTTP 429 backpressure for any method,
+	// or a transient network error for idempotent methods. Negative
+	// disables retries; 0 means the default 3.
+	MaxRetries int
+	// RetryBaseDelay is the first backoff step; it doubles per retry (with
+	// jitter) up to retryMaxDelay, and a 429's Retry-After header overrides
+	// it. 0 means the default 100ms.
+	RetryBaseDelay time.Duration
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -53,38 +64,107 @@ func apiError(status int, body []byte) error {
 	}
 }
 
+const retryMaxDelay = 5 * time.Second
+
+func (c *Client) maxRetries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return 3
+	default:
+		return c.MaxRetries
+	}
+}
+
+// retryDelay computes the sleep before retry number attempt (0-based):
+// exponential from RetryBaseDelay with full jitter, capped at
+// retryMaxDelay; a server-provided Retry-After (seconds) takes precedence.
+func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
+	if s, err := strconv.Atoi(retryAfter); err == nil && s >= 0 {
+		return time.Duration(s) * time.Second
+	}
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << attempt
+	if d > retryMaxDelay || d <= 0 { // <= 0 guards shift overflow
+		d = retryMaxDelay
+	}
+	return time.Duration(rand.Int64N(int64(d)) + 1)
+}
+
+// do issues one API request with retries. HTTP 429 (queue backpressure) is
+// retried for every method — the request was read and rejected, so
+// resubmitting is safe. Transient network errors are retried only for
+// idempotent methods (GET, DELETE): a failed POST may have been applied.
+// Backoff sleeps honor ctx.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	idempotent := method == http.MethodGet || method == http.MethodDelete
+	for attempt := 0; ; attempt++ {
+		err, retryable, retryAfter := c.attempt(ctx, method, path, data, out)
+		if err == nil || !retryable || attempt >= c.maxRetries() {
+			return err
+		}
+		if !idempotent && !errors.Is(err, ErrQueueFull) {
+			return err
+		}
+		timer := time.NewTimer(c.retryDelay(attempt, retryAfter))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// attempt is one request/response cycle of do. retryable marks errors that
+// a retry could plausibly cure (429, network failure); retryAfter carries
+// the server's Retry-After header, if any.
+func (c *Client) attempt(ctx context.Context, method, path string, data []byte, out any) (err error, retryable bool, retryAfter string) {
+	var body io.Reader
+	if data != nil {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
-		return err
+		return err, false, ""
 	}
-	if in != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc().Do(req)
 	if err != nil {
-		return err
+		// Context expiry is terminal; anything else (refused connection,
+		// reset, timeout at the transport) is a transient network error.
+		if ctx.Err() != nil {
+			return ctx.Err(), false, ""
+		}
+		return err, true, ""
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	respData, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return err
+		return err, false, ""
 	}
 	if resp.StatusCode >= 400 {
-		return apiError(resp.StatusCode, data)
+		return apiError(resp.StatusCode, respData),
+			resp.StatusCode == http.StatusTooManyRequests,
+			resp.Header.Get("Retry-After")
 	}
 	if out != nil {
-		return json.Unmarshal(data, out)
+		return json.Unmarshal(respData, out), false, ""
 	}
-	return nil
+	return nil, false, ""
 }
 
 // Submit posts a job and returns its pending status. A full queue surfaces

@@ -29,26 +29,40 @@ func (s State) Terminal() bool {
 
 // SeedResult summarizes one completed trial of a job.
 type SeedResult struct {
-	Seed            uint64 `json:"seed"`
-	Rounds          int    `json:"rounds"`
-	Converged       bool   `json:"converged"`
-	FirstAllCorrect int    `json:"first_all_correct,omitempty"`
-	CorrectOpinion  int    `json:"correct_opinion"`
-	FinalCorrect    int    `json:"final_correct"`
+	Seed            uint64         `json:"seed"`
+	Rounds          int            `json:"rounds"`
+	Converged       bool           `json:"converged"`
+	FirstAllCorrect int            `json:"first_all_correct,omitempty"`
+	CorrectOpinion  int            `json:"correct_opinion"`
+	FinalCorrect    int            `json:"final_correct"`
+	Faults          []FaultOutcome `json:"faults,omitempty"`
+}
+
+// FaultOutcome is the wire form of one applied fault's telemetry
+// (noisypull.FaultRecord).
+type FaultOutcome struct {
+	Round       int    `json:"round"`
+	Kind        string `json:"kind"`
+	Index       int    `json:"index"`
+	Affected    int    `json:"affected"`
+	RecoveredAt int    `json:"recovered_at,omitempty"`
 }
 
 // Event is one line of a job's NDJSON progress stream.
 //
 //   - "round": a simulated round finished (Seed, Round, Correct).
+//   - "fault": a scheduled fault was applied (Seed, Round, Kind, Affected).
 //   - "seed":  a trial finished (Seed, Result).
 //   - "status": the terminal line, carrying the final job status.
 type Event struct {
-	Type    string      `json:"type"`
-	Seed    uint64      `json:"seed,omitempty"`
-	Round   int         `json:"round,omitempty"`
-	Correct int         `json:"correct,omitempty"`
-	Result  *SeedResult `json:"result,omitempty"`
-	Job     *JobStatus  `json:"job,omitempty"`
+	Type     string      `json:"type"`
+	Seed     uint64      `json:"seed,omitempty"`
+	Round    int         `json:"round,omitempty"`
+	Correct  int         `json:"correct,omitempty"`
+	Kind     string      `json:"kind,omitempty"`
+	Affected int         `json:"affected,omitempty"`
+	Result   *SeedResult `json:"result,omitempty"`
+	Job      *JobStatus  `json:"job,omitempty"`
 }
 
 // JobStatus is the API representation of a job (GET /v1/jobs/{id}).

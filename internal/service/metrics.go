@@ -19,6 +19,8 @@ type metrics struct {
 	running   atomic.Int64
 	rounds    atomic.Int64
 	streams   atomic.Int64
+	faults    atomic.Int64
+	panics    atomic.Int64
 }
 
 // WriteMetrics emits the service metrics in Prometheus text exposition
@@ -63,5 +65,11 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	p("# HELP simd_streams_active Open progress streams.\n")
 	p("# TYPE simd_streams_active gauge\n")
 	p("simd_streams_active %d\n", m.streams.Load())
+	p("# HELP simd_faults_injected_total Scheduled fault events applied across all jobs.\n")
+	p("# TYPE simd_faults_injected_total counter\n")
+	p("simd_faults_injected_total %d\n", m.faults.Load())
+	p("# HELP simd_worker_panics_total Protocol/engine panics recovered by scheduler workers.\n")
+	p("# TYPE simd_worker_panics_total counter\n")
+	p("simd_worker_panics_total %d\n", m.panics.Load())
 	return err
 }

@@ -1,0 +1,150 @@
+package service
+
+// Client retry tests against deliberately flaky servers and transports.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyTransport fails the first n round-trips with a network error, then
+// delegates to the real transport.
+type flakyTransport struct {
+	failures atomic.Int32
+	attempts atomic.Int32
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := f.attempts.Add(1)
+	if n <= f.failures.Load() {
+		return nil, fmt.Errorf("connection reset by flaky transport (attempt %d)", n)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func fastRetryClient(baseURL string, tr http.RoundTripper) *Client {
+	c := NewClient(baseURL)
+	c.RetryBaseDelay = time.Millisecond
+	if tr != nil {
+		c.HTTPClient = &http.Client{Transport: tr}
+	}
+	return c
+}
+
+func TestClientRetries429HonoringRetryAfter(t *testing.T) {
+	var posts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n := posts.Add(1); n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"id":"j-000001","state":"pending"}`)
+	}))
+	defer srv.Close()
+
+	c := fastRetryClient(srv.URL, nil)
+	start := time.Now()
+	st, err := c.Submit(context.Background(), quickSpec(1))
+	if err != nil {
+		t.Fatalf("submit after 429s: %v", err)
+	}
+	if st.ID != "j-000001" {
+		t.Fatalf("status = %+v", st)
+	}
+	if got := posts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	// Retry-After: 0 overrides the backoff, so the whole exchange is quick.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retries took %v; Retry-After 0 was not honored", elapsed)
+	}
+}
+
+func TestClientRetryGivesUpAfterMaxRetries(t *testing.T) {
+	var posts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := fastRetryClient(srv.URL, nil)
+	c.MaxRetries = 2
+	_, err := c.Submit(context.Background(), quickSpec(1))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if got := posts.Load(); got != 3 { // initial + 2 retries
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestClientRetriesTransientNetworkErrorOnGet(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `[]`)
+	}))
+	defer srv.Close()
+
+	tr := &flakyTransport{}
+	tr.failures.Store(2)
+	c := fastRetryClient(srv.URL, tr)
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatalf("GET after transient failures: %v", err)
+	}
+	if got := tr.attempts.Load(); got != 3 {
+		t.Fatalf("transport saw %d attempts, want 3", got)
+	}
+}
+
+func TestClientDoesNotRetryPostOnNetworkError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{}`)
+	}))
+	defer srv.Close()
+
+	tr := &flakyTransport{}
+	tr.failures.Store(1)
+	c := fastRetryClient(srv.URL, tr)
+	if _, err := c.Submit(context.Background(), quickSpec(1)); err == nil {
+		t.Fatal("POST retried a network error; a submit may not be idempotent")
+	}
+	if got := tr.attempts.Load(); got != 1 {
+		t.Fatalf("transport saw %d attempts, want 1", got)
+	}
+}
+
+func TestClientRetryBackoffIsContextCancellable(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		// No Retry-After: the client falls back to exponential backoff.
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.RetryBaseDelay = time.Hour // force the cancellation path
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Jobs(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the backoff sleep ignored ctx", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts before cancellation, want 1", got)
+	}
+}

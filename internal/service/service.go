@@ -289,35 +289,11 @@ func (s *Service) runJob(j *job, l *lease) {
 		if j.ctx.Err() != nil {
 			break
 		}
-		if l.ok && l.shape == j.shape {
-			l.runner.Reset(seed)
-		} else {
-			l.drop()
-			cfg := j.cfg
-			cfg.Seed = seed
-			runner, err := noisypull.NewRunner(cfg)
-			if err != nil {
-				j.finish(StateFailed, err.Error(), s.cfg.ResultTTL)
-				s.metrics.failed.Add(1)
-				s.logf("job %s failed: %v", j.id, err)
-				return
-			}
-			l.runner, l.shape, l.ok = runner, j.shape, true
-		}
-		sd := seed
-		l.runner.SetOnRound(func(round, correct int) {
-			s.metrics.rounds.Add(1)
-			j.publish(Event{Type: "round", Seed: sd, Round: round, Correct: correct})
-		})
-		res, err := l.runner.RunContext(j.ctx)
-		l.runner.SetOnRound(nil)
+		res, err := s.runSeed(j, l, seed)
 		if err != nil {
 			if j.ctx.Err() != nil {
 				break // cancelled (or drain deadline); finalize below
 			}
-			// A protocol/engine error poisons neither the worker nor the
-			// lease shape logic, but the runner may be mid-round: drop it.
-			l.drop()
 			j.finish(StateFailed, err.Error(), s.cfg.ResultTTL)
 			s.metrics.failed.Add(1)
 			s.logf("job %s failed: %v", j.id, err)
@@ -330,6 +306,15 @@ func (s *Service) runJob(j *job, l *lease) {
 			FirstAllCorrect: res.FirstAllCorrect,
 			CorrectOpinion:  res.CorrectOpinion,
 			FinalCorrect:    res.FinalCorrect,
+		}
+		for _, rec := range res.Faults {
+			sr.Faults = append(sr.Faults, FaultOutcome{
+				Round:       rec.Round,
+				Kind:        rec.Kind.String(),
+				Index:       rec.Index,
+				Affected:    rec.Affected,
+				RecoveredAt: rec.RecoveredAt,
+			})
 		}
 		j.mu.Lock()
 		j.results = append(j.results, sr)
@@ -346,6 +331,52 @@ func (s *Service) runJob(j *job, l *lease) {
 	j.finish(StateDone, "", s.cfg.ResultTTL)
 	s.metrics.done.Add(1)
 	s.logf("job %s done", j.id)
+}
+
+// runSeed executes one trial on the worker's leased runner. Panics from
+// protocol or engine code are recovered and surfaced as the trial's error,
+// so a misbehaving job fails alone instead of taking down its scheduler
+// worker (and with it the daemon's capacity). The recovered runner is
+// dropped — its mid-round state is arbitrary. Recovery covers the engine's
+// synchronous path, which is how service jobs run (SimWorkers defaults
+// to 1).
+func (s *Service) runSeed(j *job, l *lease, seed uint64) (res *noisypull.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			l.drop()
+			s.metrics.panics.Add(1)
+			res, err = nil, fmt.Errorf("panic in protocol/engine: %v", p)
+		}
+	}()
+	if l.ok && l.shape == j.shape {
+		l.runner.Reset(seed)
+	} else {
+		l.drop()
+		cfg := j.cfg
+		cfg.Seed = seed
+		runner, err := noisypull.NewRunner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		l.runner, l.shape, l.ok = runner, j.shape, true
+	}
+	l.runner.SetOnRound(func(round, correct int) {
+		s.metrics.rounds.Add(1)
+		j.publish(Event{Type: "round", Seed: seed, Round: round, Correct: correct})
+	})
+	l.runner.SetOnFault(func(rec noisypull.FaultRecord) {
+		s.metrics.faults.Add(1)
+		j.publish(Event{Type: "fault", Seed: seed, Round: rec.Round, Kind: rec.Kind.String(), Affected: rec.Affected})
+	})
+	res, err = l.runner.RunContext(j.ctx)
+	l.runner.SetOnRound(nil)
+	l.runner.SetOnFault(nil)
+	if err != nil && j.ctx.Err() == nil {
+		// A protocol/engine error poisons neither the worker nor the lease
+		// shape logic, but the runner may be mid-round: drop it.
+		l.drop()
+	}
+	return res, err
 }
 
 // janitor evicts terminal jobs past their TTL.

@@ -40,6 +40,33 @@ type JobSpec struct {
 	// Seeds lists the independent trials to run, in order. Empty means the
 	// single seed 1.
 	Seeds []uint64 `json:"seeds,omitempty"`
+	// Faults optionally schedules runtime fault injection; each entry maps
+	// to one noisypull.FaultEvent. Invalid schedules are rejected at
+	// submission time (HTTP 400).
+	Faults []FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec is the wire form of one scheduled fault event.
+type FaultSpec struct {
+	// Kind is one of corrupt, crash, churn, noise (matrix swap), drift
+	// (gradual noise-level ramp).
+	Kind string `json:"kind"`
+	// Round fires the event at a fixed round; alternatively WindowLo/Hi
+	// draw the fire round uniformly (seed-deterministically) from a window.
+	Round    int `json:"round,omitempty"`
+	WindowLo int `json:"window_lo,omitempty"`
+	WindowHi int `json:"window_hi,omitempty"`
+	// Fraction is the per-agent hit probability (corrupt, crash, churn).
+	Fraction float64 `json:"fraction,omitempty"`
+	// Mode is the corruption flavor for corrupt/churn: wrong or random.
+	Mode string `json:"mode,omitempty"`
+	// Duration is the crash length in rounds.
+	Duration int `json:"duration,omitempty"`
+	// Delta is the uniform noise level a noise swap installs, or the drift
+	// target level.
+	Delta float64 `json:"delta,omitempty"`
+	// DriftRounds is the ramp length of a drift.
+	DriftRounds int `json:"drift_rounds,omitempty"`
 }
 
 // shapeKey is the comparable identity of a spec up to its seeds: two jobs
@@ -53,6 +80,7 @@ type shapeKey struct {
 	protocol, corruption  string
 	backend               string
 	maxRounds, stabilityW int
+	faults                string
 }
 
 func (s *JobSpec) shape() shapeKey {
@@ -61,11 +89,23 @@ func (s *JobSpec) shape() shapeKey {
 		delta: s.Delta, c1: s.C1,
 		protocol: s.Protocol, corruption: s.Corruption, backend: s.Backend,
 		maxRounds: s.MaxRounds, stabilityW: s.StabilityWindow,
+		faults: faultFingerprint(s.Faults),
 	}
 	if s.P01 != nil && s.P10 != nil {
 		k.asym, k.p01, k.p10, k.delta = true, *s.P01, *s.P10, 0
 	}
 	return k
+}
+
+// faultFingerprint canonicalizes a fault schedule into a comparable string:
+// equal fingerprints mean the built noisypull.FaultSchedule values are equal
+// field-for-field, so a leased runner's compiled timeline depends only on
+// the seed and the runner may be rewound with Reset across jobs.
+func faultFingerprint(fs []FaultSpec) string {
+	if len(fs) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%+v", fs)
 }
 
 // build translates the spec into a validated noisypull.Config (Seed unset;
@@ -100,24 +140,34 @@ func (s *JobSpec) build() (noisypull.Config, error) {
 	}
 
 	var proto noisypull.Protocol
-	switch s.Protocol {
-	case "sf":
+	if p, ok := testProtocols[s.Protocol]; ok {
+		proto = p
+		if d := p.Alphabet(); d != alphabet {
+			if nm, err = noisypull.UniformNoise(d, s.Delta); err != nil {
+				return zero, fmt.Errorf("spec: %w", err)
+			}
+			alphabet = d
+		}
+	}
+	switch {
+	case proto != nil:
+	case s.Protocol == "sf":
 		var opts []noisypull.SFOption
 		if s.C1 > 0 {
 			opts = append(opts, noisypull.WithSFConstant(s.C1))
 		}
 		proto = noisypull.NewSourceFilter(opts...)
-	case "ssf":
+	case s.Protocol == "ssf":
 		var opts []noisypull.SSFOption
 		if s.C1 > 0 {
 			opts = append(opts, noisypull.WithSSFConstant(s.C1))
 		}
 		proto = noisypull.NewSelfStabilizing(opts...)
-	case "voter":
+	case s.Protocol == "voter":
 		proto = noisypull.VoterBaseline
-	case "majority":
+	case s.Protocol == "majority":
 		proto = noisypull.MajorityBaseline
-	case "trustbit":
+	case s.Protocol == "trustbit":
 		proto = noisypull.TrustBitBaseline
 	default:
 		return zero, fmt.Errorf("spec: unknown protocol %q", s.Protocol)
@@ -152,6 +202,11 @@ func (s *JobSpec) build() (noisypull.Config, error) {
 		return zero, fmt.Errorf("spec: unknown backend %q", s.Backend)
 	}
 
+	sched, err := buildFaults(s.Faults, alphabet)
+	if err != nil {
+		return zero, err
+	}
+
 	cfg := noisypull.Config{
 		N:               s.N,
 		H:               s.H,
@@ -160,6 +215,7 @@ func (s *JobSpec) build() (noisypull.Config, error) {
 		Noise:           nm,
 		Protocol:        proto,
 		Backend:         backend,
+		Faults:          sched,
 		MaxRounds:       s.MaxRounds,
 		StabilityWindow: s.StabilityWindow,
 		Corruption:      mode,
@@ -169,6 +225,65 @@ func (s *JobSpec) build() (noisypull.Config, error) {
 	}
 	return cfg, nil
 }
+
+// buildFaults translates the wire schedule into a noisypull.FaultSchedule.
+// Structural validation (windows, fractions, durations) happens in
+// cfg.Check() via the engine's own Validate; only the string vocabularies
+// and the swap-matrix construction are resolved here.
+func buildFaults(fs []FaultSpec, alphabet int) (*noisypull.FaultSchedule, error) {
+	if len(fs) == 0 {
+		return nil, nil
+	}
+	sched := &noisypull.FaultSchedule{Events: make([]noisypull.FaultEvent, len(fs))}
+	for i, f := range fs {
+		ev := noisypull.FaultEvent{
+			Round:       f.Round,
+			WindowLo:    f.WindowLo,
+			WindowHi:    f.WindowHi,
+			Fraction:    f.Fraction,
+			Duration:    f.Duration,
+			Delta:       f.Delta,
+			DriftRounds: f.DriftRounds,
+		}
+		switch f.Mode {
+		case "":
+			ev.Corruption = noisypull.CorruptNone
+		case "wrong":
+			ev.Corruption = noisypull.CorruptWrongConsensus
+		case "random":
+			ev.Corruption = noisypull.CorruptRandom
+		default:
+			return nil, fmt.Errorf("spec: fault %d: unknown mode %q (wrong, random)", i, f.Mode)
+		}
+		switch f.Kind {
+		case "corrupt":
+			ev.Kind = noisypull.FaultCorrupt
+		case "crash":
+			ev.Kind = noisypull.FaultCrash
+		case "churn":
+			ev.Kind = noisypull.FaultChurn
+		case "noise":
+			ev.Kind = noisypull.FaultNoiseSwap
+			m, err := noisypull.UniformNoise(alphabet, f.Delta)
+			if err != nil {
+				return nil, fmt.Errorf("spec: fault %d: %w", i, err)
+			}
+			ev.Matrix = m
+			ev.Delta = 0
+		case "drift":
+			ev.Kind = noisypull.FaultNoiseDrift
+		default:
+			return nil, fmt.Errorf("spec: fault %d: unknown kind %q (corrupt, crash, churn, noise, drift)", i, f.Kind)
+		}
+		sched.Events[i] = ev
+	}
+	return sched, nil
+}
+
+// testProtocols lets tests register protocols outside the wire vocabulary
+// (e.g. a deliberately panicking one for the worker-crash regression test).
+// Nil in production.
+var testProtocols map[string]noisypull.Protocol
 
 // normalize fills spec defaults (applied at submission so stored statuses
 // show what actually ran).

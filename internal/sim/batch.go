@@ -32,6 +32,9 @@ func RunBatchContext(ctx context.Context, cfg Config, seeds []uint64, parallel i
 	if cfg.OnRound != nil {
 		return nil, errors.New("sim: RunBatch does not support OnRound (trials run concurrently); use TrackHistory")
 	}
+	if cfg.OnFault != nil {
+		return nil, errors.New("sim: RunBatch does not support OnFault (trials run concurrently); use Result.Faults")
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,10 +99,10 @@ feed:
 
 // ResetCompatible reports whether a Runner built from c can be reused via
 // Reset to execute o: the configurations must be identical up to Seed.
-// Pointer-typed fields (Noise, Artificial, Topology) compare by identity,
-// and callbacks must be absent (funcs are not comparable). Harness code uses
-// this to decide between rewinding a pooled runner and constructing a fresh
-// one.
+// Pointer-typed fields (Noise, Artificial, Topology, Faults) compare by
+// identity, and callbacks must be absent (funcs are not comparable). Harness
+// code uses this to decide between rewinding a pooled runner and
+// constructing a fresh one.
 func (c *Config) ResetCompatible(o *Config) bool {
 	return c.N == o.N && c.H == o.H &&
 		c.Sources1 == o.Sources1 && c.Sources0 == o.Sources0 &&
@@ -110,9 +113,11 @@ func (c *Config) ResetCompatible(o *Config) bool {
 		c.MaxRounds == o.MaxRounds &&
 		c.StabilityWindow == o.StabilityWindow &&
 		c.Corruption == o.Corruption &&
+		c.Faults == o.Faults &&
 		c.Workers == o.Workers &&
 		c.TrackHistory == o.TrackHistory &&
-		c.OnRound == nil && o.OnRound == nil
+		c.OnRound == nil && o.OnRound == nil &&
+		c.OnFault == nil && o.OnFault == nil
 }
 
 // protocolEqual compares two Protocol values without panicking on dynamic

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"noisypull/internal/faults"
 	"noisypull/internal/graph"
 )
 
@@ -291,6 +292,26 @@ func TestResetCompatible(t *testing.T) {
 	a2.Protocol = sliceProtoVal{}
 	if a2.ResetCompatible(&b) {
 		t.Fatal("non-comparable protocol values must report incompatible, not panic")
+	}
+
+	// Fault schedules compare by pointer identity, like Noise.
+	sched := &faults.Schedule{Events: []faults.Event{
+		{Kind: faults.KindChurn, Round: 1, Fraction: 0.5},
+	}}
+	b = a
+	b.Faults = sched
+	if a.ResetCompatible(&b) {
+		t.Fatal("differing fault schedules must not be compatible")
+	}
+	a2 = a
+	a2.Faults = sched
+	if !a2.ResetCompatible(&b) {
+		t.Fatal("identical fault-schedule pointers must be compatible")
+	}
+	b = a
+	b.OnFault = func(faults.Record) {}
+	if a.ResetCompatible(&b) || b.ResetCompatible(&a) {
+		t.Fatal("OnFault configs must not be compatible")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"noisypull/internal/faults"
 	"noisypull/internal/noise"
 	"noisypull/internal/rng"
 )
@@ -38,6 +39,17 @@ type Runner struct {
 	pool    *pool
 	ce      *countsEngine // non-nil iff backend == BackendCounts
 	ran     bool          // Run consumed since the last New/Reset
+
+	// Fault-injection runtime (nil without a schedule). Noise faults swap
+	// channel/effRows mid-run; baseEff/baseChannel keep the configured
+	// channel for Reset, and curNoise tracks the communication-layer matrix
+	// in effect (drift starts from its level). curRound is the round being
+	// executed, written at the round barrier (crash checks read it).
+	fs          *faultState
+	baseEff     *noise.Matrix
+	baseChannel *noise.Channel
+	curNoise    *noise.Matrix
+	curRound    int
 }
 
 // workerScratch is the preallocated private state of one worker: its agent
@@ -106,6 +118,10 @@ func New(cfg Config) (*Runner, error) {
 		for sigma := 0; sigma < d; sigma++ {
 			r.effRows[sigma] = eff.Row(sigma)
 		}
+		if cfg.Faults != nil {
+			r.baseEff, r.baseChannel, r.curNoise = eff, ch, cfg.Noise
+			r.fs = newFaultState(&cfg, backend)
+		}
 		r.initPopulation()
 		return r, nil
 	}
@@ -161,6 +177,10 @@ func New(cfg Config) (*Runner, error) {
 			s.nbrW = make([]float64, d)
 		}
 	}
+	if cfg.Faults != nil {
+		r.baseEff, r.baseChannel, r.curNoise = eff, ch, cfg.Noise
+		r.fs = newFaultState(&cfg, backend)
+	}
 	r.initPopulation()
 	if workers > 1 {
 		r.pool = newPool(workers)
@@ -178,6 +198,11 @@ func New(cfg Config) (*Runner, error) {
 // bit-identical to a fresh one.
 func (r *Runner) initPopulation() {
 	cfg := &r.cfg
+	r.curRound = 0
+	if r.fs != nil {
+		r.fs.reset(cfg)
+		r.restoreNoise()
+	}
 	if r.ce != nil {
 		r.ce.reset(cfg, r.env, r.correct)
 		return
@@ -276,6 +301,13 @@ func (r *Runner) SetOnRound(fn func(round, correct int)) {
 	r.cfg.OnRound = fn
 }
 
+// SetOnFault replaces the runner's fault-application hook, under the same
+// rules as SetOnRound: not while a Run is in progress, intended for harness
+// code repointing telemetry between Reset and Run.
+func (r *Runner) SetOnFault(fn func(faults.Record)) {
+	r.cfg.OnFault = fn
+}
+
 // Run executes rounds until the protocol finishes (finite protocols), the
 // population has been all-correct for the stability window (infinite
 // protocols), or MaxRounds elapse. A Runner runs once per New or Reset;
@@ -339,6 +371,12 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 			default:
 			}
 		}
+		r.curRound = round
+		if r.fs != nil {
+			if err := r.applyFaults(round); err != nil {
+				return nil, fmt.Errorf("sim: round %d: %w", round, err)
+			}
+		}
 		correctCount, err := r.step()
 		if err != nil {
 			return nil, fmt.Errorf("sim: round %d: %w", round, err)
@@ -353,6 +391,9 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		}
 
 		allCorrect := correctCount == cfg.N
+		if r.fs != nil && allCorrect {
+			r.fs.markRecovered(round)
+		}
 		if allCorrect && res.FirstAllCorrect == 0 {
 			res.FirstAllCorrect = round
 		}
@@ -366,18 +407,21 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		if finiteRounds > 0 {
 			if round == finiteRounds {
 				res.Converged = allCorrect
+				r.attachFaults(res)
 				return res, nil
 			}
 			continue
 		}
 		if stable >= window {
 			res.Converged = true
+			r.attachFaults(res)
 			return res, nil
 		}
 	}
 	// Reaching here means the round budget ran out before the protocol's
 	// own termination condition (finite schedule or stability window), so
 	// the run did not converge; res.Converged keeps its zero value.
+	r.attachFaults(res)
 	return res, nil
 }
 
@@ -425,8 +469,18 @@ func (r *Runner) snapshotRange(w int) {
 		shard[j] = 0
 	}
 	s.err = nil
+	var crashUntil, frozen []int
+	if r.fs != nil {
+		crashUntil, frozen = r.fs.crashUntil, r.fs.frozen
+	}
 	for i := s.lo; i < s.hi; i++ {
-		sym := r.agents[i].Display()
+		var sym int
+		if crashUntil != nil && crashUntil[i] > r.curRound {
+			// Crashed: the stale symbol captured at crash time stays up.
+			sym = frozen[i]
+		} else {
+			sym = r.agents[i].Display()
+		}
 		if sym < 0 || sym >= d {
 			if s.err == nil {
 				s.err = fmt.Errorf("agent %d displayed symbol %d outside alphabet [0, %d)", i, sym, d)
@@ -490,10 +544,22 @@ func (r *Runner) mergeSnapshot() error {
 func (r *Runner) observeRange(w int) {
 	s := &r.scratch[w]
 	count := 0
+	var crashUntil []int
+	if r.fs != nil {
+		crashUntil = r.fs.crashUntil
+	}
 	for i := s.lo; i < s.hi; i++ {
+		a := r.agents[i]
+		if crashUntil != nil && crashUntil[i] > r.curRound {
+			// Crashed: no observations, no update; the pre-crash opinion
+			// still counts toward the tally.
+			if a.Opinion() == r.correct {
+				count++
+			}
+			continue
+		}
 		stream := &r.streams[i]
 		r.observe(i, stream, s)
-		a := r.agents[i]
 		a.Observe(s.observed, stream)
 		if a.Opinion() == r.correct {
 			count++

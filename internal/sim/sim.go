@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math"
 
+	"noisypull/internal/faults"
 	"noisypull/internal/graph"
 	"noisypull/internal/noise"
 	"noisypull/internal/rng"
@@ -193,6 +194,18 @@ type CountsInit struct {
 	Stream *rng.Stream
 }
 
+// CountableCorruptible is an optional CountableProtocol extension that lets
+// the counts backend apply mid-run transient corruption (KindCorrupt fault
+// events) as count redistribution: CorruptRow fills row (length NumStates)
+// with the probability that one agent currently in the class lands in each
+// class after being hit by the adversary. It must be distribution-identical
+// to applying Corruptible.Corrupt to one agent of the class (sources whose
+// Corrupt is a no-op get an identity row).
+type CountableCorruptible interface {
+	CountableProtocol
+	CorruptRow(env Env, state int, mode CorruptionMode, wrongOpinion int, row []float64)
+}
+
 // Finite is implemented by protocols with a predetermined duration (such as
 // SF, whose phases are fixed by n, h, δ, s): the engine runs them for
 // exactly Rounds rounds.
@@ -204,36 +217,27 @@ type Finite interface {
 // CorruptionMode selects the adversary used to initialize agents in the
 // self-stabilizing setting (paper Section 1.3): the adversary may corrupt
 // all internal state except source status and knowledge of n and the noise
-// matrix.
-type CorruptionMode int
+// matrix. It is an alias of faults.Corruption so fault schedules and
+// round-0 corruption share one vocabulary (the same modes drive mid-run
+// KindCorrupt events).
+type CorruptionMode = faults.Corruption
 
 const (
 	// CorruptNone leaves initial states untouched.
-	CorruptNone CorruptionMode = iota
+	CorruptNone = faults.CorruptNone
 	// CorruptWrongConsensus initializes every agent as if the system had
 	// converged to the incorrect opinion: memories full of fake supporting
 	// samples, opinions and weak opinions set wrong, clocks desynchronized.
 	// This is the hardest natural starting point.
-	CorruptWrongConsensus
+	CorruptWrongConsensus = faults.CorruptWrongConsensus
 	// CorruptRandom scrambles internal state uniformly at random.
-	CorruptRandom
+	CorruptRandom = faults.CorruptRandom
 )
-
-func (c CorruptionMode) String() string {
-	switch c {
-	case CorruptNone:
-		return "none"
-	case CorruptWrongConsensus:
-		return "wrong-consensus"
-	case CorruptRandom:
-		return "random"
-	default:
-		return fmt.Sprintf("CorruptionMode(%d)", int(c))
-	}
-}
 
 // Corruptible is implemented by agents that support adversarial
 // initialization. wrongOpinion is the complement of the correct opinion.
+// The engine invokes it at round 0 (Config.Corruption) and again whenever a
+// KindCorrupt fault fires mid-run.
 type Corruptible interface {
 	Corrupt(mode CorruptionMode, wrongOpinion int, r *rng.Stream)
 }
@@ -284,6 +288,13 @@ type Config struct {
 	// Corruption selects adversarial initialization for the
 	// self-stabilizing setting.
 	Corruption CorruptionMode
+	// Faults, if non-nil, schedules runtime fault injection: mid-run
+	// corruption, crashes, churn, and noise-matrix changes, applied before
+	// the observations of their fire round. The timeline is deterministic in
+	// Seed. The counts backend supports noise events and uniform transient
+	// corruption (for CountableCorruptible protocols) only; Validate rejects
+	// the rest.
+	Faults *faults.Schedule
 	// Workers is the number of goroutines stepping agents; 0 means
 	// GOMAXPROCS. Results do not depend on it.
 	Workers int
@@ -294,6 +305,11 @@ type Config struct {
 	// (1-based) and the number of agents currently holding the correct
 	// opinion. It runs on the engine's goroutine.
 	OnRound func(round, correct int)
+	// OnFault, if non-nil, is called when a scheduled fault is applied, with
+	// RecoveredAt still zero (recovery is only known later; see
+	// Result.Faults for the completed records). It runs on the engine's
+	// goroutine.
+	OnFault func(faults.Record)
 }
 
 // Result reports a finished simulation.
@@ -315,6 +331,9 @@ type Result struct {
 	FinalCorrect int
 	// History, when requested, holds the per-round correct-opinion counts.
 	History []int
+	// Faults records every applied fault with its recovery telemetry, in
+	// application order. Nil when the run had no fault schedule.
+	Faults []faults.Record
 }
 
 // Validate checks the configuration, returning a descriptive error for the
@@ -387,6 +406,28 @@ func (c *Config) Validate() error {
 	}
 	if c.StabilityWindow < 0 {
 		return fmt.Errorf("sim: negative StabilityWindow %d", c.StabilityWindow)
+	}
+	if c.MaxRounds > 0 && c.StabilityWindow > c.MaxRounds {
+		return fmt.Errorf("sim: StabilityWindow %d exceeds MaxRounds %d; the run can never converge", c.StabilityWindow, c.MaxRounds)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(d); err != nil {
+			return err
+		}
+		if c.Backend == BackendCounts {
+			cc, countable := c.Protocol.(CountableCorruptible)
+			for i := range c.Faults.Events {
+				switch kind := c.Faults.Events[i].Kind; kind {
+				case faults.KindCrash, faults.KindChurn:
+					return fmt.Errorf("sim: the counts backend tracks no individual agents, so it cannot %v (event %d); use exact or aggregate", kind, i)
+				case faults.KindCorrupt:
+					if !countable {
+						return fmt.Errorf("sim: protocol %T does not implement CountableCorruptible; the counts backend cannot apply corrupt faults (event %d)", c.Protocol, i)
+					}
+					_ = cc
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"noisypull/internal/faults"
 	"noisypull/internal/graph"
 	"noisypull/internal/noise"
 	"noisypull/internal/rng"
@@ -101,6 +102,16 @@ func TestValidateAcceptsBase(t *testing.T) {
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	cfg.Faults = &faults.Schedule{Events: []faults.Event{
+		{Kind: faults.KindChurn, WindowLo: 2, WindowHi: 8, Fraction: 0.5},
+	}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid fault schedule rejected: %v", err)
+	}
+	cfg.MaxRounds, cfg.StabilityWindow = 10, 10 // equal is allowed; only strictly greater is not
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("StabilityWindow == MaxRounds rejected: %v", err)
+	}
 }
 
 func TestValidateRejections(t *testing.T) {
@@ -126,6 +137,13 @@ func TestValidateRejections(t *testing.T) {
 		{"bad backend", func(c *Config) { c.Backend = Backend(99) }},
 		{"negative max rounds", func(c *Config) { c.MaxRounds = -1 }},
 		{"negative window", func(c *Config) { c.StabilityWindow = -2 }},
+		{"window exceeds cap", func(c *Config) { c.MaxRounds = 5; c.StabilityWindow = 6 }},
+		{"empty fault schedule", func(c *Config) { c.Faults = &faults.Schedule{} }},
+		{"bad fault event", func(c *Config) {
+			c.Faults = &faults.Schedule{Events: []faults.Event{
+				{Kind: faults.KindCorrupt, Round: 1, Fraction: 0.5}, // missing mode
+			}}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"noisypull/internal/faults"
 	"noisypull/internal/graph"
 	"noisypull/internal/noise"
 	"noisypull/internal/protocol"
@@ -36,6 +37,18 @@ type (
 	Backend = sim.Backend
 	// CorruptionMode selects the self-stabilization adversary.
 	CorruptionMode = sim.CorruptionMode
+	// FaultSchedule is a deterministic runtime fault-injection schedule
+	// (mid-run corruption, crashes, churn, noise swaps and drifts) attached
+	// to Config.Faults.
+	FaultSchedule = faults.Schedule
+	// FaultEvent is one scheduled fault.
+	FaultEvent = faults.Event
+	// FaultKind identifies a fault class.
+	FaultKind = faults.Kind
+	// FaultRecord is the per-fault telemetry in Result.Faults: the applied
+	// round, agents affected, and the recovery round (first all-correct
+	// round at or after the hit; 0 = never recovered).
+	FaultRecord = faults.Record
 	// SFOption customizes the Source Filter protocol.
 	SFOption = protocol.SFOption
 	// SSFOption customizes the Self-stabilizing Source Filter protocol.
@@ -59,6 +72,18 @@ const (
 	CorruptNone           = sim.CorruptNone
 	CorruptWrongConsensus = sim.CorruptWrongConsensus
 	CorruptRandom         = sim.CorruptRandom
+
+	// FaultCorrupt re-corrupts a fraction of agents mid-run.
+	FaultCorrupt = faults.KindCorrupt
+	// FaultCrash freezes a fraction of agents for a fixed interval.
+	FaultCrash = faults.KindCrash
+	// FaultChurn replaces a fraction of non-sources with fresh agents.
+	FaultChurn = faults.KindChurn
+	// FaultNoiseSwap replaces the communication noise matrix.
+	FaultNoiseSwap = faults.KindNoiseSwap
+	// FaultNoiseDrift moves the noise level linearly to a target over a
+	// number of rounds.
+	FaultNoiseDrift = faults.KindNoiseDrift
 )
 
 // Protocol option constructors, re-exported from the protocol package.
@@ -162,6 +187,11 @@ type Config struct {
 	StabilityWindow int
 	// Corruption selects adversarial initialization of agent state.
 	Corruption CorruptionMode
+	// Faults, if non-nil, schedules runtime fault injection (mid-run
+	// corruption, crashes, churn, noise swaps and drifts), deterministic in
+	// Seed; telemetry lands in Result.Faults. The counts backend supports
+	// noise events and uniform transient corruption only.
+	Faults *FaultSchedule
 	// Topology, if non-nil, restricts each agent's sampling to its graph
 	// neighborhood (requires the exact backend; see RingTopology and
 	// friends). Nil means the paper's complete-graph model.
@@ -172,6 +202,8 @@ type Config struct {
 	TrackHistory bool
 	// OnRound, if set, observes each round's correct-opinion count.
 	OnRound func(round, correct int)
+	// OnFault, if set, observes each applied fault as it fires.
+	OnFault func(FaultRecord)
 }
 
 // ErrNotReducible is returned when the supplied noise matrix is too noisy
@@ -221,6 +253,7 @@ func RunBatch(cfg Config, seeds []uint64) ([]*Result, error) {
 // round, and the call returns ctx.Err().
 func RunBatchContext(ctx context.Context, cfg Config, seeds []uint64) ([]*Result, error) {
 	cfg.OnRound = nil
+	cfg.OnFault = nil
 	sc, err := cfg.toSim()
 	if err != nil {
 		return nil, err
@@ -281,6 +314,10 @@ func (r *Runner) Reset(seed uint64) { r.r.Reset(seed) }
 // correct-opinion count). It must not be called while a Run is in progress.
 func (r *Runner) SetOnRound(fn func(round, correct int)) { r.r.SetOnRound(fn) }
 
+// SetOnFault replaces the fault-application hook, under the same rules as
+// SetOnRound.
+func (r *Runner) SetOnFault(fn func(FaultRecord)) { r.r.SetOnFault(fn) }
+
 // Close releases the runner's worker pool. Idempotent.
 func (r *Runner) Close() { r.r.Close() }
 
@@ -316,10 +353,12 @@ func (cfg Config) toSim() (sim.Config, error) {
 		MaxRounds:       cfg.MaxRounds,
 		StabilityWindow: cfg.StabilityWindow,
 		Corruption:      cfg.Corruption,
+		Faults:          cfg.Faults,
 		Topology:        cfg.Topology,
 		Workers:         cfg.Workers,
 		TrackHistory:    cfg.TrackHistory,
 		OnRound:         cfg.OnRound,
+		OnFault:         cfg.OnFault,
 	}
 	if _, uniform := cfg.Noise.UniformDelta(1e-9); !uniform {
 		red, err := noise.Reduce(cfg.Noise)
