@@ -9,7 +9,14 @@
 //	curl -sN localhost:8080/v1/jobs/j-000001/stream
 //	curl -s -X DELETE localhost:8080/v1/jobs/j-000001
 //
-// See README "Running as a service" and DESIGN.md §3.6.
+// With -journal-dir the daemon keeps a write-ahead job journal and
+// survives crashes: on restart it replays the journal, re-enqueues
+// interrupted jobs (resuming mid-run trials from their last engine
+// checkpoint when -checkpoint-rounds or the job's checkpoint_rounds is
+// set), and serves 503 from /readyz until recovery finishes.
+//
+// See README "Running as a service" / "Surviving restarts", DESIGN.md
+// §3.6 and §3.8.
 package main
 
 import (
@@ -47,6 +54,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ttl        = fs.Duration("ttl", time.Hour, "how long finished jobs stay queryable")
 		maxSeeds   = fs.Int("max-seeds", 1024, "maximum seeds per job")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline before in-flight jobs are cancelled")
+		journalDir = fs.String("journal-dir", "", "directory for the write-ahead job journal; enables crash recovery (empty = in-memory only)")
+		ckRounds   = fs.Int("checkpoint-rounds", 0, "default rounds between journaled engine checkpoints for jobs that don't set checkpoint_rounds (0 = off)")
 		quiet      = fs.Bool("quiet", false, "suppress per-job log lines")
 		version    = fs.Bool("version", false, "print version and exit")
 	)
@@ -67,11 +76,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	d := service.NewDaemon(service.DaemonConfig{
 		Addr: *addr,
 		Service: service.Config{
-			QueueCapacity:  *queue,
-			Workers:        *workers,
-			SimWorkers:     *simWorkers,
-			ResultTTL:      *ttl,
-			MaxSeedsPerJob: *maxSeeds,
+			QueueCapacity:    *queue,
+			Workers:          *workers,
+			SimWorkers:       *simWorkers,
+			ResultTTL:        *ttl,
+			MaxSeedsPerJob:   *maxSeeds,
+			JournalDir:       *journalDir,
+			CheckpointRounds: *ckRounds,
 		},
 		DrainTimeout: *drain,
 		Logf:         logf,

@@ -1,0 +1,89 @@
+package protocol
+
+import "noisypull/internal/sim"
+
+// This file implements sim.Snapshotter for every built-in agent, enabling
+// engine checkpoint/resume (sim.Runner.Snapshot/Restore) on the per-agent
+// backends. Only mutable run state is serialized: roles and derived protocol
+// parameters (m, T, w, L, quotas) are reconstructed by population
+// (re)initialization, which Restore targets, so they never enter the
+// encoding. Fields must be written and read in the same order; the snapshot
+// container versioning (and its checksum) lives in package sim.
+
+// SnapshotState implements sim.Snapshotter.
+func (a *sfAgent) SnapshotState(w *sim.SnapWriter) {
+	w.Int(a.firstSym)
+	w.Int(a.round)
+	w.Int(a.counter1)
+	w.Int(a.counter0)
+	w.Int(a.weakOpinion)
+	w.Int(a.opinion)
+	w.Int(a.subPhase)
+	w.Int(a.boostOnes)
+	w.Int(a.boostAll)
+}
+
+// RestoreState implements sim.Snapshotter.
+func (a *sfAgent) RestoreState(r *sim.SnapReader) {
+	a.firstSym = r.Int()
+	a.round = r.Int()
+	a.counter1 = r.Int()
+	a.counter0 = r.Int()
+	a.weakOpinion = r.Int()
+	a.opinion = r.Int()
+	a.subPhase = r.Int()
+	a.boostOnes = r.Int()
+	a.boostAll = r.Int()
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (a *ssfAgent) SnapshotState(w *sim.SnapWriter) {
+	for _, c := range a.memory {
+		w.Int(c)
+	}
+	w.Int(a.total)
+	w.Int(a.weakOpinion)
+	w.Int(a.opinion)
+}
+
+// RestoreState implements sim.Snapshotter.
+func (a *ssfAgent) RestoreState(r *sim.SnapReader) {
+	for s := range a.memory {
+		a.memory[s] = r.Int()
+	}
+	a.total = r.Int()
+	a.weakOpinion = r.Int()
+	a.opinion = r.Int()
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (a *voterAgent) SnapshotState(w *sim.SnapWriter) {
+	w.Int(a.opinion)
+}
+
+// RestoreState implements sim.Snapshotter.
+func (a *voterAgent) RestoreState(r *sim.SnapReader) {
+	a.opinion = r.Int()
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (a *majorityAgent) SnapshotState(w *sim.SnapWriter) {
+	w.Int(a.opinion)
+}
+
+// RestoreState implements sim.Snapshotter.
+func (a *majorityAgent) RestoreState(r *sim.SnapReader) {
+	a.opinion = r.Int()
+}
+
+// SnapshotState implements sim.Snapshotter.
+func (a *trustBitAgent) SnapshotState(w *sim.SnapWriter) {
+	w.Bool(a.informed)
+	w.Int(a.opinion)
+}
+
+// RestoreState implements sim.Snapshotter.
+func (a *trustBitAgent) RestoreState(r *sim.SnapReader) {
+	a.informed = r.Bool()
+	a.opinion = r.Int()
+}

@@ -20,7 +20,10 @@
 // a pair of nested multinomials (see sim and noise).
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // SplitMix64 returns the next value of the splitmix64 sequence for the given
 // state, and the advanced state. It is used to expand user seeds into
@@ -77,6 +80,21 @@ func (r *Stream) Reseed(seed uint64) {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
+}
+
+// State returns the stream's internal xoshiro256++ state. Together with
+// SetState it lets checkpoint/resume code capture a stream mid-sequence and
+// continue it bit-identically later (sim.Runner.Snapshot/Restore).
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State. The all-zero
+// state is invalid for xoshiro256++ and is rejected.
+func (r *Stream) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("rng: SetState with all-zero state")
+	}
+	r.s = s
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -11,6 +11,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -56,6 +57,11 @@ func apiError(status int, body []byte) error {
 	case http.StatusTooManyRequests:
 		return fmt.Errorf("%w (%s)", ErrQueueFull, msg)
 	case http.StatusServiceUnavailable:
+		// 503 covers both shutdown (draining) and startup (journal replay);
+		// the body tells them apart so callers can errors.Is the right one.
+		if strings.Contains(msg, "not ready") || strings.Contains(msg, "replaying") {
+			return fmt.Errorf("%w (%s)", ErrNotReady, msg)
+		}
 		return fmt.Errorf("%w (%s)", ErrDraining, msg)
 	case http.StatusNotFound:
 		return fmt.Errorf("%w (%s)", ErrNotFound, msg)
@@ -210,7 +216,20 @@ func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 // non-nil error aborts the stream with that error. fn may be nil to just
 // wait for completion.
 func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) (*JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+	return c.StreamFrom(ctx, id, 0, fn)
+}
+
+// StreamFrom is Stream resuming after a disconnect: events with seq ≤ from
+// are suppressed server-side, so passing the last Seq the previous stream
+// delivered yields no duplicates. Sequence numbers are journaled with the
+// job, so resuming works across a daemon restart — a recovered job continues
+// the numbering where the crashed process left it.
+func (c *Client) StreamFrom(ctx context.Context, id string, from uint64, fn func(Event) error) (*JobStatus, error) {
+	url := c.BaseURL + "/v1/jobs/" + id + "/stream"
+	if from > 0 {
+		url += "?from=" + strconv.FormatUint(from, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +266,29 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) (*
 		return nil, err
 	}
 	return nil, errors.New("service: stream ended without a terminal status line")
+}
+
+// Ready queries /readyz: whether the daemon accepts submissions, plus the
+// journal replay summary once recovery has finished (nil before that, and
+// on pre-durability daemons). A connection error is returned as-is, so
+// callers can poll Ready through a restart.
+func (c *Client) Ready(ctx context.Context) (bool, *ReplaySummary, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return false, nil, err
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return false, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return false, nil, err
+	}
+	var body readyBody
+	_ = json.Unmarshal(data, &body) // tolerate non-JSON bodies from old daemons
+	return resp.StatusCode == http.StatusOK, body.Replay, nil
 }
 
 // Wait polls until the job reaches a terminal state or ctx expires.

@@ -59,14 +59,22 @@ func (d *Daemon) logf(format string, args ...any) {
 }
 
 // Start binds the listener, starts the service workers, and serves HTTP in
-// the background. It returns once the daemon is accepting requests.
+// the background. It returns once the daemon is accepting requests; with a
+// journal configured, job submissions additionally wait on the background
+// replay (503 from POST /v1/jobs and /readyz until it finishes, while
+// status, results, and metrics endpoints serve immediately).
 func (d *Daemon) Start() error {
-	ln, err := net.Listen("tcp", d.cfg.Addr)
+	svc, err := Open(d.cfg.Service)
 	if err != nil {
 		return err
 	}
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
 	d.ln = ln
-	d.svc = New(d.cfg.Service)
+	d.svc = svc
 	d.srv = &http.Server{
 		Handler:           d.svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -76,6 +84,9 @@ func (d *Daemon) Start() error {
 	}()
 	d.logf("simd listening on %s (queue=%d workers=%d ttl=%s)",
 		ln.Addr(), cap(d.svc.queue), d.svc.cfg.Workers, d.svc.cfg.ResultTTL)
+	if d.cfg.Service.JournalDir != "" {
+		d.logf("simd journal at %s (replaying; /readyz flips when done)", d.svc.journal.path)
+	}
 	return nil
 }
 

@@ -3,8 +3,10 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // maxSpecBytes bounds the POST /v1/jobs body.
@@ -16,13 +18,15 @@ const maxSpecBytes = 1 << 20
 //	GET    /v1/jobs             list jobs                   → 200 []JobStatus
 //	GET    /v1/jobs/{id}        job status + results        → 200 JobStatus
 //	GET    /v1/jobs/{id}/stream NDJSON round-level progress → 200 Event lines
+//	                            (?from=N skips events with seq ≤ N)
 //	DELETE /v1/jobs/{id}        cancel                      → 200 JobStatus
 //	GET    /healthz             liveness                    → 200
+//	GET    /readyz              readiness + replay summary  → 200 / 503
 //	GET    /metrics             Prometheus text metrics     → 200
 //	/debug/pprof/*              runtime profiling
 //
 // Queue-full submissions get 429 with a Retry-After hint; submissions during
-// drain get 503; spec validation failures get 400.
+// drain or journal replay get 503; spec validation failures get 400.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -34,6 +38,7 @@ func (s *Service) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.WriteMetrics(w)
@@ -76,13 +81,41 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrNotReady):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	default:
 		writeJSON(w, http.StatusAccepted, st)
 	}
+}
+
+// readyBody is the /readyz response: readiness plus the journal replay
+// summary (partial — the zero value — while the replay is still running).
+type readyBody struct {
+	Status string         `json:"status"` // ready | replaying | draining
+	Replay *ReplaySummary `json:"replay,omitempty"`
+}
+
+// handleReady serves readiness: 503 while the journal is replaying or the
+// service is draining (load shedding — orchestrators route traffic away),
+// 200 once submissions are accepted. The body carries the replay summary so
+// an operator watching a recovery sees what came back.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	body := readyBody{Status: "ready"}
+	if summary, done := s.ReplayStatus(); done {
+		body.Replay = &summary
+	}
+	status := http.StatusOK
+	switch {
+	case !s.ready.Load():
+		body.Status = "replaying"
+		status = http.StatusServiceUnavailable
+	case !s.Ready():
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
@@ -110,9 +143,21 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleStream serves NDJSON progress: one Event per line as the job runs,
 // closed by a final {"type":"status"} line carrying the terminal JobStatus.
 // Slow consumers lose round events (the buffer drops, never blocks the
-// engine) but always receive the terminal line.
+// engine) but always receive the terminal line. ?from=N suppresses events
+// with seq ≤ N — a reconnecting client (including across a daemon restart,
+// where a resumed job continues its journaled seq numbering) passes the last
+// seq it saw and receives no duplicates.
 func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	var from uint64
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from parameter %q: %w", v, err))
+			return
+		}
+		from = n
+	}
 	ch, unsub, err := s.Subscribe(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -147,6 +192,9 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 					flush()
 				}
 				return
+			}
+			if ev.Seq <= from {
+				continue // already delivered before the reconnect
 			}
 			if enc.Encode(ev) != nil {
 				return // client went away

@@ -54,8 +54,15 @@ type FaultOutcome struct {
 //   - "fault": a scheduled fault was applied (Seed, Round, Kind, Affected).
 //   - "seed":  a trial finished (Seed, Result).
 //   - "status": the terminal line, carrying the final job status.
+//
+// Seq is the job's monotonic event number, assigned whether or not anyone is
+// streaming (the counter is journaled and restored across daemon restarts,
+// so numbering never depends on who was watching). A client that loses its
+// stream reconnects with StreamFrom(lastSeq) and receives only events it has
+// not seen. The synthesized terminal "status" line carries no Seq.
 type Event struct {
 	Type     string      `json:"type"`
+	Seq      uint64      `json:"seq,omitempty"`
 	Seed     uint64      `json:"seed,omitempty"`
 	Round    int         `json:"round,omitempty"`
 	Correct  int         `json:"correct,omitempty"`
@@ -95,7 +102,17 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	nsubs atomic.Int32 // fast path: skip the mutex when nobody streams
+	nsubs atomic.Int32  // fast path: skip the mutex when nobody streams
+	seq   atomic.Uint64 // monotonic event number; journaled, restored on recovery
+
+	// watchdog is set when the per-job wall-clock limit fired: the context
+	// cancellation then finalizes as failed, not cancelled.
+	watchdog atomic.Bool
+
+	// resume, when set by journal recovery, is the engine checkpoint the
+	// job's next trial restores instead of starting from round zero. The
+	// scheduler consumes it once.
+	resume *checkpointState
 
 	mu       sync.Mutex
 	state    State
@@ -162,13 +179,19 @@ func (j *job) subscribe() (<-chan Event, func()) {
 	}
 }
 
-// publish fans an event out to all subscribers, dropping it for any whose
-// buffer is full. The nsubs fast path keeps the per-round cost of an
-// unobserved job to one atomic load.
-func (j *job) publish(ev Event) {
+// publish assigns the event its sequence number and fans it out to all
+// subscribers, dropping it for any whose buffer is full. The seq counter
+// advances even with zero subscribers — sequence numbers must be a property
+// of the job's execution, not of who happened to be streaming, or resuming a
+// stream across a daemon restart could not line up. The nsubs fast path
+// keeps the per-round cost of an unobserved job to one increment and one
+// atomic load. It returns the assigned seq (journal records carry it).
+func (j *job) publish(ev Event) uint64 {
+	seq := j.seq.Add(1)
 	if j.nsubs.Load() == 0 {
-		return
+		return seq
 	}
+	ev.Seq = seq
 	j.mu.Lock()
 	for ch := range j.subs {
 		select {
@@ -177,6 +200,7 @@ func (j *job) publish(ev Event) {
 		}
 	}
 	j.mu.Unlock()
+	return seq
 }
 
 // finish moves the job to a terminal state, stamps the eviction deadline,

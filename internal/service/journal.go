@@ -1,0 +1,466 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file implements the service's write-ahead job journal: an append-only
+// NDJSON file that records every submission, state transition, per-seed
+// result, engine checkpoint, and terminal outcome. On startup the service
+// replays it, reinstalling terminal jobs into the result store and
+// re-enqueueing non-terminal ones (resuming from their last checkpoint when
+// one was recorded), so a kill -9 loses at most the tail of the round in
+// flight.
+//
+// Durability contract: every record is flushed to the OS when appended (a
+// crash loses at most the final, possibly torn line — replay tolerates
+// that), and terminal records are additionally fsynced, so an acknowledged
+// job outcome survives power loss. Records for unknown jobs or with unknown
+// types are skipped on replay, keeping old daemons forward-compatible with
+// journals written by newer ones.
+
+// journalFile is the journal's name inside Config.JournalDir.
+const journalFile = "simd-journal.ndjson"
+
+// Journal record types (journalRecord.T).
+const (
+	recSubmit     = "submit"
+	recState      = "state"
+	recSeed       = "seed"
+	recCheckpoint = "checkpoint"
+	recTerminal   = "terminal"
+)
+
+// journalRecord is one NDJSON line. Which fields are set depends on T:
+// submit carries Spec; state carries State; seed carries Seed/Result/Seq;
+// checkpoint carries Seed/Round/Data/Seq (Data is the engine snapshot,
+// base64 on the wire); terminal carries State and Error.
+type journalRecord struct {
+	T      string      `json:"t"`
+	Job    string      `json:"job,omitempty"`
+	Spec   *JobSpec    `json:"spec,omitempty"`
+	State  State       `json:"state,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Seed   *uint64     `json:"seed,omitempty"`
+	Result *SeedResult `json:"result,omitempty"`
+	Seq    uint64      `json:"seq,omitempty"`
+	Round  int         `json:"round,omitempty"`
+	Data   []byte      `json:"data,omitempty"`
+}
+
+// journal is the append side. A nil *journal is a valid no-op (the service
+// without -journal-dir), so call sites never branch. Write errors are
+// sticky: the first failure disables further appends and is logged once —
+// the daemon keeps serving, degraded to in-memory-only, rather than failing
+// jobs over a full disk.
+type journal struct {
+	path string
+	logf func(format string, args ...any)
+	onErr func()
+
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error
+}
+
+// openJournal creates dir if needed and opens the journal for appending.
+func openJournal(dir string, logf func(string, ...any), onErr func()) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: journal: %w", err)
+	}
+	return &journal{path: path, logf: logf, onErr: onErr, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append marshals rec, writes it as one line, and flushes it to the OS.
+// sync additionally fsyncs (terminal records: an acknowledged outcome must
+// survive power loss, not just a process kill).
+func (jl *journal) append(rec *journalRecord, sync bool) {
+	if jl == nil {
+		return
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err == nil {
+		data = append(data, '\n')
+		_, err = jl.w.Write(data)
+	}
+	if err == nil {
+		err = jl.w.Flush()
+	}
+	if err == nil && sync {
+		err = jl.f.Sync()
+	}
+	if err != nil {
+		jl.err = err
+		if jl.onErr != nil {
+			jl.onErr()
+		}
+		if jl.logf != nil {
+			jl.logf("journal: write failed, durability disabled: %v", err)
+		}
+	}
+}
+
+func (jl *journal) appendSubmit(id string, spec *JobSpec) {
+	jl.append(&journalRecord{T: recSubmit, Job: id, Spec: spec}, false)
+}
+
+func (jl *journal) appendState(id string, state State) {
+	jl.append(&journalRecord{T: recState, Job: id, State: state}, false)
+}
+
+func (jl *journal) appendSeed(id string, seed uint64, res *SeedResult, seq uint64) {
+	jl.append(&journalRecord{T: recSeed, Job: id, Seed: &seed, Result: res, Seq: seq}, false)
+}
+
+func (jl *journal) appendCheckpoint(id string, seed uint64, round int, data []byte, seq uint64) {
+	jl.append(&journalRecord{T: recCheckpoint, Job: id, Seed: &seed, Round: round, Data: data, Seq: seq}, false)
+}
+
+func (jl *journal) appendTerminal(id string, state State, errMsg string) {
+	jl.append(&journalRecord{T: recTerminal, Job: id, State: state, Error: errMsg}, true)
+}
+
+func (jl *journal) close() {
+	if jl == nil {
+		return
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.err == nil {
+		jl.err = fmt.Errorf("service: journal closed")
+		_ = jl.w.Flush()
+		_ = jl.f.Sync()
+	}
+	_ = jl.f.Close()
+}
+
+// checkpointState is a recovered job's last journaled engine checkpoint.
+type checkpointState struct {
+	seed  uint64
+	round int
+	data  []byte
+	seq   uint64
+}
+
+// recoveredJob accumulates one job's journal records during replay.
+type recoveredJob struct {
+	id       string
+	spec     JobSpec
+	terminal State  // "" while non-terminal
+	errMsg   string
+	results  []SeedResult
+	seen     map[uint64]bool // seeds with a journaled result
+	ck       *checkpointState
+	seq      uint64 // max event seq journaled; resumed publishing continues past it
+}
+
+// replayOutcome is what replayJournal hands the service's recovery pass.
+type replayOutcome struct {
+	records int
+	torn    bool
+	jobs    []*recoveredJob // journal (submission) order
+	maxID   uint64
+}
+
+// ReplaySummary reports a journal replay to /readyz and the startup log.
+type ReplaySummary struct {
+	// Records is the number of journal records replayed.
+	Records int `json:"records"`
+	// TornTail reports that the final line was incomplete (the write the
+	// crash interrupted) and was discarded.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// Jobs is the number of distinct jobs in the journal.
+	Jobs int `json:"jobs"`
+	// Restored is how many terminal jobs were reinstalled into the store.
+	Restored int `json:"restored"`
+	// Resumed is how many interrupted jobs were re-enqueued (from their last
+	// checkpoint when one was journaled, from scratch otherwise).
+	Resumed int `json:"resumed"`
+	// Lost is how many interrupted jobs could not be resumed and were marked
+	// failed ("lost to crash: ...").
+	Lost int `json:"lost"`
+	// DurationMS is the wall-clock replay time in milliseconds.
+	DurationMS int64 `json:"duration_ms"`
+}
+
+func (rs ReplaySummary) String() string {
+	torn := ""
+	if rs.TornTail {
+		torn = ", torn tail discarded"
+	}
+	return fmt.Sprintf("%d records, %d jobs (%d restored, %d resumed, %d lost) in %dms%s",
+		rs.Records, rs.Jobs, rs.Restored, rs.Resumed, rs.Lost, rs.DurationMS, torn)
+}
+
+// replayJournal reads the journal at path and reconstructs per-job state.
+// A missing file is an empty journal. Replay stops at the first unparsable
+// line: anything beyond a torn write is unaccounted for, and the append side
+// guarantees records are whole lines, so a parse failure can only be the
+// crash-interrupted tail (or external corruption, which the same policy
+// contains). Replay never fails on file content — only I/O errors surface.
+func replayJournal(path string) (*replayOutcome, error) {
+	out := &replayOutcome{}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	byID := make(map[string]*recoveredJob)
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec journalRecord
+			if jsonErr := json.Unmarshal(line, &rec); jsonErr != nil {
+				out.torn = true
+				return out, nil
+			}
+			out.records++
+			applyRecord(byID, out, &rec)
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// applyRecord folds one journal record into the replay state. Records for
+// unknown jobs or of unknown types are skipped (forward compatibility).
+func applyRecord(byID map[string]*recoveredJob, out *replayOutcome, rec *journalRecord) {
+	if rec.T == recSubmit {
+		if rec.Spec == nil || rec.Job == "" || byID[rec.Job] != nil {
+			return
+		}
+		j := &recoveredJob{id: rec.Job, spec: *rec.Spec, seen: make(map[uint64]bool)}
+		byID[rec.Job] = j
+		out.jobs = append(out.jobs, j)
+		if id := parseJobID(rec.Job); id > out.maxID {
+			out.maxID = id
+		}
+		return
+	}
+	j := byID[rec.Job]
+	if j == nil {
+		return
+	}
+	switch rec.T {
+	case recState:
+		// Transitions only matter for logging today; the pending/running
+		// distinction is irrelevant to recovery (both re-enqueue).
+	case recSeed:
+		if rec.Seed == nil || rec.Result == nil || j.seen[*rec.Seed] {
+			return
+		}
+		j.seen[*rec.Seed] = true
+		j.results = append(j.results, *rec.Result)
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+		if j.ck != nil && j.ck.seed == *rec.Seed {
+			j.ck = nil // the checkpointed seed finished; the checkpoint is stale
+		}
+	case recCheckpoint:
+		if rec.Seed == nil || len(rec.Data) == 0 || j.seen[*rec.Seed] {
+			return
+		}
+		j.ck = &checkpointState{seed: *rec.Seed, round: rec.Round, data: rec.Data, seq: rec.Seq}
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+	case recTerminal:
+		if rec.State.Terminal() {
+			j.terminal = rec.State
+			j.errMsg = rec.Error
+			j.ck = nil
+		}
+	}
+}
+
+// parseJobID extracts the numeric part of a "j-000123" id (0 if foreign).
+func parseJobID(id string) uint64 {
+	s, ok := strings.CutPrefix(id, "j-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// recover replays the journal and rebuilds service state: terminal jobs go
+// back into the result store, interrupted jobs are re-enqueued (with their
+// completed seeds and last checkpoint), and jobs that cannot be rebuilt are
+// finalized as failed with a "lost to crash" reason. It runs once, in the
+// background, before the service reports ready; submissions meanwhile get
+// ErrNotReady.
+func (s *Service) recover() {
+	start := time.Now()
+	outcome, err := replayJournal(s.journal.path)
+	if err != nil {
+		// Unreadable journal: surface loudly but come up empty rather than
+		// refusing to serve (the file stays on disk for forensics).
+		s.logf("journal: replay failed, starting empty: %v", err)
+		outcome = &replayOutcome{}
+	}
+
+	summary := ReplaySummary{
+		Records: outcome.records,
+		TornTail: outcome.torn,
+		Jobs:    len(outcome.jobs),
+	}
+	now := time.Now()
+	for _, rj := range outcome.jobs {
+		switch {
+		case rj.terminal != "":
+			s.installTerminal(rj, now)
+			summary.Restored++
+		default:
+			if s.resubmit(rj) {
+				summary.Resumed++
+				s.metrics.recovered.Add(1)
+			} else {
+				summary.Lost++
+			}
+		}
+	}
+
+	s.mu.Lock()
+	if outcome.maxID > s.nextID {
+		s.nextID = outcome.maxID
+	}
+	s.mu.Unlock()
+
+	summary.DurationMS = time.Since(start).Milliseconds()
+	s.metrics.replayMS.Store(summary.DurationMS)
+	s.replayMu.Lock()
+	s.replay = summary
+	s.replayDone = true
+	s.replayMu.Unlock()
+	s.ready.Store(true)
+	s.logf("journal: replay done: %s", summary.String())
+}
+
+// installTerminal puts a finished job straight into the result store, with a
+// fresh TTL (its original finish time did not survive the restart).
+func (s *Service) installTerminal(rj *recoveredJob, now time.Time) {
+	j := &job{
+		id:       rj.id,
+		spec:     rj.spec,
+		state:    rj.terminal,
+		errMsg:   rj.errMsg,
+		results:  rj.results,
+		created:  now,
+		finished: now,
+		expiry:   now.Add(s.cfg.ResultTTL),
+	}
+	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+	j.cancel() // terminal: nothing will ever run under this context
+	s.mu.Lock()
+	if _, exists := s.jobs[j.id]; !exists {
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	s.mu.Unlock()
+}
+
+// resubmit re-enqueues an interrupted job, reporting whether it is live
+// again. Failure paths (spec no longer builds, queue overflow, drain racing
+// recovery) finalize the job as failed with a journaled "lost to crash"
+// reason, so the loss is visible to clients instead of silent.
+func (s *Service) resubmit(rj *recoveredJob) bool {
+	spec := rj.spec
+	spec.normalize()
+	lost := func(reason string) {
+		j := &job{id: rj.id, spec: spec, state: StateRunning, created: time.Now(), results: rj.results}
+		j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+		s.mu.Lock()
+		if _, exists := s.jobs[j.id]; !exists {
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+		}
+		s.mu.Unlock()
+		s.finalize(j, StateFailed, "lost to crash: "+reason)
+		s.logf("job %s lost to crash: %s", rj.id, reason)
+	}
+
+	cfg, err := spec.build()
+	if err != nil {
+		lost(err.Error())
+		return false
+	}
+	cfg.Workers = s.cfg.SimWorkers
+
+	j := &job{
+		id:      rj.id,
+		spec:    spec,
+		shape:   spec.shape(),
+		cfg:     cfg,
+		state:   StatePending,
+		created: time.Now(),
+		results: rj.results,
+		resume:  rj.ck,
+	}
+	j.seq.Store(rj.seq)
+	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lost("service shut down during recovery")
+		return false
+	}
+	if _, exists := s.jobs[j.id]; exists {
+		s.mu.Unlock()
+		return false // duplicate submit record; first wins
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		lost(fmt.Sprintf("recovery overflowed the job queue (capacity %d)", s.cfg.QueueCapacity))
+		return false
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	// Log from rj.ck, not j.resume: once the job is on the queue a worker may
+	// already have consumed the resume pointer.
+	if rj.ck != nil {
+		s.logf("job %s recovered: resuming seed %d from checkpoint at round %d (%d/%d seeds done)",
+			j.id, rj.ck.seed, rj.ck.round, len(rj.results), len(spec.Seeds))
+	} else {
+		s.logf("job %s recovered: re-enqueued (%d/%d seeds done)", j.id, len(rj.results), len(spec.Seeds))
+	}
+	return true
+}

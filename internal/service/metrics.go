@@ -21,6 +21,14 @@ type metrics struct {
 	streams   atomic.Int64
 	faults    atomic.Int64
 	panics    atomic.Int64
+
+	// Durability counters (journal, checkpoint/resume, watchdog).
+	recovered       atomic.Int64 // jobs re-enqueued by journal replay
+	watchdogKills   atomic.Int64 // jobs failed for exceeding max_wall_ms
+	checkpoints     atomic.Int64 // engine checkpoints journaled
+	checkpointBytes atomic.Int64 // size of the most recent checkpoint
+	replayMS        atomic.Int64 // last journal replay duration
+	journalErrors   atomic.Int64 // journal write failures (durability lost)
 }
 
 // WriteMetrics emits the service metrics in Prometheus text exposition
@@ -71,5 +79,23 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	p("# HELP simd_worker_panics_total Protocol/engine panics recovered by scheduler workers.\n")
 	p("# TYPE simd_worker_panics_total counter\n")
 	p("simd_worker_panics_total %d\n", m.panics.Load())
+	p("# HELP simd_jobs_recovered_total Interrupted jobs re-enqueued by journal replay.\n")
+	p("# TYPE simd_jobs_recovered_total counter\n")
+	p("simd_jobs_recovered_total %d\n", m.recovered.Load())
+	p("# HELP simd_watchdog_kills_total Jobs failed for exceeding their max_wall_ms budget.\n")
+	p("# TYPE simd_watchdog_kills_total counter\n")
+	p("simd_watchdog_kills_total %d\n", m.watchdogKills.Load())
+	p("# HELP simd_checkpoints_total Engine checkpoints written to the journal.\n")
+	p("# TYPE simd_checkpoints_total counter\n")
+	p("simd_checkpoints_total %d\n", m.checkpoints.Load())
+	p("# HELP simd_checkpoint_bytes Size of the most recently journaled engine checkpoint.\n")
+	p("# TYPE simd_checkpoint_bytes gauge\n")
+	p("simd_checkpoint_bytes %d\n", m.checkpointBytes.Load())
+	p("# HELP simd_journal_replay_ms Duration of the startup journal replay.\n")
+	p("# TYPE simd_journal_replay_ms gauge\n")
+	p("simd_journal_replay_ms %d\n", m.replayMS.Load())
+	p("# HELP simd_journal_errors_total Journal write failures (durability degraded).\n")
+	p("# TYPE simd_journal_errors_total counter\n")
+	p("simd_journal_errors_total %d\n", m.journalErrors.Load())
 	return err
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"noisypull"
@@ -29,6 +30,9 @@ var (
 	ErrDraining = errors.New("service: draining, not accepting jobs")
 	// ErrNotFound means no job with the requested id exists (404).
 	ErrNotFound = errors.New("service: no such job")
+	// ErrNotReady means the service is still replaying its journal and does
+	// not accept jobs yet (503; poll /readyz).
+	ErrNotReady = errors.New("service: replaying journal, not ready")
 )
 
 // Config tunes a Service. The zero value gets sensible defaults from New.
@@ -50,6 +54,17 @@ type Config struct {
 	// MaxSeedsPerJob bounds the trials a single submission may request.
 	// Default 1024.
 	MaxSeedsPerJob int
+	// JournalDir, when set, enables the write-ahead job journal: every
+	// submission, per-seed result, engine checkpoint, and terminal outcome is
+	// appended to an NDJSON file there, and startup replays it — terminal
+	// jobs come back queryable, interrupted jobs re-enqueue and resume from
+	// their last checkpoint. Empty disables durability (the default).
+	JournalDir string
+	// CheckpointRounds is the default engine-checkpoint cadence (rounds
+	// between journaled snapshots) applied to jobs whose spec leaves
+	// checkpoint_rounds unset. 0 disables default checkpointing; it only
+	// takes effect with JournalDir set.
+	CheckpointRounds int
 	// Logf, if non-nil, receives one line per job state transition.
 	Logf func(format string, args ...any)
 }
@@ -93,11 +108,36 @@ type Service struct {
 	janitorStop chan struct{}
 	stopOnce    sync.Once
 
+	// Durability state. journal is nil without Config.JournalDir. ready
+	// flips true once journal replay finishes (immediately when there is no
+	// journal); Submit returns ErrNotReady before that.
+	journal    *journal
+	ready      atomic.Bool
+	replayMu   sync.Mutex
+	replay     ReplaySummary
+	replayDone bool
+
 	metrics metrics
 }
 
 // New starts a Service: cfg.Workers scheduler goroutines plus a TTL janitor.
+// It panics if the journal cannot be opened — embedders that set JournalDir
+// and want the error instead use Open (New predates durability and keeps its
+// simple signature for the common journal-less case, where it cannot fail).
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a Service like New, returning journal initialization errors
+// instead of panicking. With Config.JournalDir set, the returned service is
+// not yet ready: it replays the journal in the background (Submit returns
+// ErrNotReady meanwhile) and flips ready once recovery finishes — poll
+// Ready or GET /readyz.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
@@ -108,12 +148,49 @@ func New(cfg Config) *Service {
 		queue:       make(chan *job, cfg.QueueCapacity),
 		janitorStop: make(chan struct{}),
 	}
+	if cfg.JournalDir != "" {
+		jl, err := openJournal(cfg.JournalDir, s.logf, func() { s.metrics.journalErrors.Add(1) })
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = jl
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	go s.janitor()
-	return s
+	if s.journal != nil {
+		go s.recover()
+	} else {
+		s.replayMu.Lock()
+		s.replayDone = true
+		s.replayMu.Unlock()
+		s.ready.Store(true)
+	}
+	return s, nil
+}
+
+// Ready reports whether the service accepts submissions (journal replay
+// finished, not draining).
+func (s *Service) Ready() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return !draining
+}
+
+// ReplayStatus returns the journal replay summary and whether replay has
+// finished. Before completion the summary is zero; without a journal it is
+// zero and done.
+func (s *Service) ReplayStatus() (ReplaySummary, bool) {
+	s.replayMu.Lock()
+	defer s.replayMu.Unlock()
+	return s.replay, s.replayDone
 }
 
 func (s *Service) logf(format string, args ...any) {
@@ -122,10 +199,17 @@ func (s *Service) logf(format string, args ...any) {
 	}
 }
 
-// Submit validates the spec, stores the job, and enqueues it. It returns
-// the pending status, or ErrQueueFull / ErrDraining / a validation error.
+// Submit validates the spec, stores the job, journals it, and enqueues it.
+// It returns the pending status, or ErrQueueFull / ErrDraining /
+// ErrNotReady / a validation error.
 func (s *Service) Submit(spec JobSpec) (*JobStatus, error) {
+	if !s.ready.Load() {
+		return nil, ErrNotReady
+	}
 	spec.normalize()
+	if spec.CheckpointRounds == 0 {
+		spec.CheckpointRounds = s.cfg.CheckpointRounds
+	}
 	if len(spec.Seeds) > s.cfg.MaxSeedsPerJob {
 		return nil, fmt.Errorf("spec: %d seeds exceed the per-job limit %d", len(spec.Seeds), s.cfg.MaxSeedsPerJob)
 	}
@@ -159,6 +243,12 @@ func (s *Service) Submit(spec JobSpec) (*JobStatus, error) {
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	// Journal the submission inside the critical section that checked
+	// draining: Drain flips draining and finalizes leftover queued jobs under
+	// this same mutex ordering, so a submission is either rejected with 503
+	// before any journal write, or fully journaled and guaranteed a journaled
+	// terminal record — never journaled then silently orphaned.
+	s.journal.appendSubmit(j.id, &spec)
 	s.mu.Unlock()
 
 	s.metrics.submitted.Add(1)
@@ -212,13 +302,30 @@ func (s *Service) Cancel(id string) (*JobStatus, error) {
 	switch {
 	case state.Terminal():
 	case state == StatePending:
-		j.finish(StateCancelled, "cancelled before start", s.cfg.ResultTTL)
-		s.metrics.cancelled.Add(1)
+		s.finalize(j, StateCancelled, "cancelled before start")
 		s.logf("job %s cancelled while queued", j.id)
 	default:
 		j.cancel()
 	}
 	return j.status(), nil
+}
+
+// finalize is the single exit to a terminal state: it finishes the job,
+// journals the terminal record (fsynced — an acknowledged outcome survives
+// power loss), and bumps the outcome counter. Every terminal transition in
+// the service goes through here, which is what guarantees that a journaled
+// submission always gains a journaled terminal record.
+func (s *Service) finalize(j *job, state State, errMsg string) {
+	j.finish(state, errMsg, s.cfg.ResultTTL)
+	s.journal.appendTerminal(j.id, state, errMsg)
+	switch state {
+	case StateDone:
+		s.metrics.done.Add(1)
+	case StateFailed:
+		s.metrics.failed.Add(1)
+	case StateCancelled:
+		s.metrics.cancelled.Add(1)
+	}
 }
 
 // Subscribe attaches a progress stream to a job (see job.subscribe).
@@ -270,7 +377,10 @@ func (s *Service) worker() {
 	}
 }
 
-// runJob drives one job through its seeds on the worker's leased runner.
+// runJob drives one job through its seeds on the worker's leased runner. A
+// recovered job re-enters here with its journaled results preloaded: the
+// completed prefix of the seed list is skipped, and the first remaining seed
+// restores from the job's checkpoint when one was journaled.
 func (s *Service) runJob(j *job, l *lease) {
 	j.mu.Lock()
 	if j.state != StatePending { // cancelled while queued
@@ -279,23 +389,38 @@ func (s *Service) runJob(j *job, l *lease) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	start := len(j.results) // recovered trials; seeds run in order
 	j.mu.Unlock()
 
 	s.metrics.running.Add(1)
 	defer s.metrics.running.Add(-1)
-	s.logf("job %s running (%d seeds)", j.id, len(j.spec.Seeds))
+	s.journal.appendState(j.id, StateRunning)
+	s.logf("job %s running (%d seeds)", j.id, len(j.spec.Seeds)-start)
 
-	for _, seed := range j.spec.Seeds {
+	// Stuck-job watchdog: a job exceeding its wall-clock budget is cancelled
+	// and finalized as failed — a runaway spec must not pin a scheduler
+	// worker (and its runner lease) forever.
+	if ms := j.spec.MaxWallMS; ms > 0 {
+		timer := time.AfterFunc(time.Duration(ms)*time.Millisecond, func() {
+			if j.watchdog.CompareAndSwap(false, true) {
+				s.metrics.watchdogKills.Add(1)
+				s.logf("job %s exceeded max_wall_ms=%d, killing", j.id, ms)
+				j.cancel()
+			}
+		})
+		defer timer.Stop()
+	}
+
+	for _, seed := range j.spec.Seeds[start:] {
 		if j.ctx.Err() != nil {
 			break
 		}
 		res, err := s.runSeed(j, l, seed)
 		if err != nil {
 			if j.ctx.Err() != nil {
-				break // cancelled (or drain deadline); finalize below
+				break // cancelled (watchdog or drain deadline); finalize below
 			}
-			j.finish(StateFailed, err.Error(), s.cfg.ResultTTL)
-			s.metrics.failed.Add(1)
+			s.finalize(j, StateFailed, err.Error())
 			s.logf("job %s failed: %v", j.id, err)
 			return
 		}
@@ -319,17 +444,21 @@ func (s *Service) runJob(j *job, l *lease) {
 		j.mu.Lock()
 		j.results = append(j.results, sr)
 		j.mu.Unlock()
-		j.publish(Event{Type: "seed", Seed: seed, Result: &sr})
+		seq := j.publish(Event{Type: "seed", Seed: seed, Result: &sr})
+		s.journal.appendSeed(j.id, seed, &sr, seq)
 	}
 
 	if j.ctx.Err() != nil {
-		j.finish(StateCancelled, "cancelled", s.cfg.ResultTTL)
-		s.metrics.cancelled.Add(1)
+		if j.watchdog.Load() {
+			s.finalize(j, StateFailed, fmt.Sprintf("watchdog: exceeded max_wall_ms=%d", j.spec.MaxWallMS))
+			s.logf("job %s killed by watchdog", j.id)
+			return
+		}
+		s.finalize(j, StateCancelled, "cancelled")
 		s.logf("job %s cancelled", j.id)
 		return
 	}
-	j.finish(StateDone, "", s.cfg.ResultTTL)
-	s.metrics.done.Add(1)
+	s.finalize(j, StateDone, "")
 	s.logf("job %s done", j.id)
 }
 
@@ -360,6 +489,22 @@ func (s *Service) runSeed(j *job, l *lease, seed uint64) (res *noisypull.Result,
 		}
 		l.runner, l.shape, l.ok = runner, j.shape, true
 	}
+
+	// A recovered job restores its journaled checkpoint into the fresh (or
+	// rewound) runner, skipping the rounds that already ran before the
+	// crash. A restore failure is not fatal: the engine is deterministic, so
+	// rerunning the seed from round zero reproduces the identical trajectory
+	// — the checkpoint is an optimization, not a correctness dependency.
+	if rs := j.resume; rs != nil && rs.seed == seed {
+		j.resume = nil
+		if restoreErr := l.runner.Restore(rs.data); restoreErr != nil {
+			s.logf("job %s: checkpoint restore failed, rerunning seed %d from round 0: %v", j.id, seed, restoreErr)
+			l.runner.Reset(seed) // a failed Restore leaves unspecified state
+		} else {
+			s.metrics.rounds.Add(int64(rs.round))
+		}
+	}
+
 	l.runner.SetOnRound(func(round, correct int) {
 		s.metrics.rounds.Add(1)
 		j.publish(Event{Type: "round", Seed: seed, Round: round, Correct: correct})
@@ -368,9 +513,17 @@ func (s *Service) runSeed(j *job, l *lease, seed uint64) (res *noisypull.Result,
 		s.metrics.faults.Add(1)
 		j.publish(Event{Type: "fault", Seed: seed, Round: rec.Round, Kind: rec.Kind.String(), Affected: rec.Affected})
 	})
+	if every := j.spec.CheckpointRounds; every > 0 && s.journal != nil {
+		l.runner.SetCheckpoint(every, func(round int, data []byte) {
+			s.metrics.checkpoints.Add(1)
+			s.metrics.checkpointBytes.Store(int64(len(data)))
+			s.journal.appendCheckpoint(j.id, seed, round, data, j.seq.Load())
+		})
+	}
 	res, err = l.runner.RunContext(j.ctx)
 	l.runner.SetOnRound(nil)
 	l.runner.SetOnFault(nil)
+	l.runner.SetCheckpoint(0, nil)
 	if err != nil && j.ctx.Err() == nil {
 		// A protocol/engine error poisons neither the worker nor the lease
 		// shape logic, but the runner may be mid-round: drop it.
@@ -456,7 +609,9 @@ func (s *Service) Drain(ctx context.Context) error {
 		close(s.janitorStop)
 	})
 	// Jobs that were still queued when the deadline hit were never picked up
-	// by a worker; finalize them so no submission is left pending forever.
+	// by a worker; finalize them (with journaled terminal records) so no
+	// submission — in particular none that was journaled in a Submit racing
+	// this shutdown — is left pending forever or orphaned in the journal.
 	s.mu.Lock()
 	pending := make([]*job, 0)
 	for _, j := range s.jobs {
@@ -469,9 +624,9 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	for _, j := range pending {
-		j.finish(StateCancelled, "cancelled: service shut down", s.cfg.ResultTTL)
-		s.metrics.cancelled.Add(1)
+		s.finalize(j, StateCancelled, "cancelled: service shut down")
 	}
+	s.journal.close()
 	return err
 }
 

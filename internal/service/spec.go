@@ -44,6 +44,17 @@ type JobSpec struct {
 	// to one noisypull.FaultEvent. Invalid schedules are rejected at
 	// submission time (HTTP 400).
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// MaxWallMS is the job's wall-clock budget in milliseconds, covering all
+	// its seeds. A job exceeding it is killed by the watchdog and finalized
+	// as failed. 0 means unlimited.
+	MaxWallMS int64 `json:"max_wall_ms,omitempty"`
+	// CheckpointRounds is the engine-checkpoint cadence: every this many
+	// rounds, the running trial's resumable state is journaled, bounding the
+	// work a crash can lose. 0 inherits the service default (off unless the
+	// daemon sets one); checkpoints are only written when the daemon runs
+	// with a journal. -1 disables checkpointing even against a service
+	// default.
+	CheckpointRounds int `json:"checkpoint_rounds,omitempty"`
 }
 
 // FaultSpec is the wire form of one scheduled fault event.
@@ -219,6 +230,12 @@ func (s *JobSpec) build() (noisypull.Config, error) {
 		MaxRounds:       s.MaxRounds,
 		StabilityWindow: s.StabilityWindow,
 		Corruption:      mode,
+	}
+	if s.MaxWallMS < 0 {
+		return zero, fmt.Errorf("spec: negative max_wall_ms %d", s.MaxWallMS)
+	}
+	if s.CheckpointRounds < -1 {
+		return zero, fmt.Errorf("spec: checkpoint_rounds %d (use a cadence, 0 for the service default, or -1 for off)", s.CheckpointRounds)
 	}
 	if err := cfg.Check(); err != nil {
 		return zero, fmt.Errorf("spec: %w", err)

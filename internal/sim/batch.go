@@ -35,6 +35,9 @@ func RunBatchContext(ctx context.Context, cfg Config, seeds []uint64, parallel i
 	if cfg.OnFault != nil {
 		return nil, errors.New("sim: RunBatch does not support OnFault (trials run concurrently); use Result.Faults")
 	}
+	if cfg.OnCheckpoint != nil {
+		return nil, errors.New("sim: RunBatch does not support OnCheckpoint (trials run concurrently); checkpoint via a dedicated Runner")
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -117,7 +120,9 @@ func (c *Config) ResetCompatible(o *Config) bool {
 		c.Workers == o.Workers &&
 		c.TrackHistory == o.TrackHistory &&
 		c.OnRound == nil && o.OnRound == nil &&
-		c.OnFault == nil && o.OnFault == nil
+		c.OnFault == nil && o.OnFault == nil &&
+		c.OnCheckpoint == nil && o.OnCheckpoint == nil &&
+		c.CheckpointEvery == o.CheckpointEvery
 }
 
 // protocolEqual compares two Protocol values without panicking on dynamic

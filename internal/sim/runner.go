@@ -50,6 +50,17 @@ type Runner struct {
 	baseChannel *noise.Channel
 	curNoise    *noise.Matrix
 	curRound    int
+
+	// Checkpoint/resume bookkeeping, updated at every round barrier:
+	// completedRound counts fully executed rounds, streak is the current
+	// all-correct streak, firstAll the tentative Result.FirstAllCorrect, and
+	// lastCorrect the correct-opinion count after the last completed round.
+	// Snapshot reads them; Restore seeds them so a resumed run continues the
+	// trajectory exactly.
+	completedRound int
+	streak         int
+	firstAll       int
+	lastCorrect    int
 }
 
 // workerScratch is the preallocated private state of one worker: its agent
@@ -199,6 +210,7 @@ func New(cfg Config) (*Runner, error) {
 func (r *Runner) initPopulation() {
 	cfg := &r.cfg
 	r.curRound = 0
+	r.completedRound, r.streak, r.firstAll, r.lastCorrect = 0, 0, 0, 0
 	if r.fs != nil {
 		r.fs.reset(cfg)
 		r.restoreNoise()
@@ -308,6 +320,16 @@ func (r *Runner) SetOnFault(fn func(faults.Record)) {
 	r.cfg.OnFault = fn
 }
 
+// SetCheckpoint configures periodic checkpointing: every `every` rounds the
+// engine snapshots its state at the round barrier and hands the encoding to
+// fn (see Snapshot/Restore). every <= 0 or a nil fn disables checkpointing.
+// Like SetOnRound, it must not be called while a Run is in progress; harness
+// code repoints it between Reset and Run.
+func (r *Runner) SetCheckpoint(every int, fn func(round int, snapshot []byte)) {
+	r.cfg.CheckpointEvery = every
+	r.cfg.OnCheckpoint = fn
+}
+
 // Run executes rounds until the protocol finishes (finite protocols), the
 // population has been all-correct for the stability window (infinite
 // protocols), or MaxRounds elapse. A Runner runs once per New or Reset;
@@ -361,9 +383,14 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		defer r.pool.detach()
 	}
 
+	// A restored runner resumes from its snapshot's round with the streak
+	// bookkeeping it carried; a fresh or Reset runner starts from zero.
 	done := ctx.Done()
-	stable := 0
-	for round := 1; round <= maxRounds; round++ {
+	stable := r.streak
+	res.FirstAllCorrect = r.firstAll
+	res.Rounds = r.completedRound
+	res.FinalCorrect = r.lastCorrect
+	for round := r.completedRound + 1; round <= maxRounds; round++ {
 		if done != nil {
 			select {
 			case <-done:
@@ -386,9 +413,6 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		if cfg.TrackHistory {
 			res.History = append(res.History, correctCount)
 		}
-		if cfg.OnRound != nil {
-			cfg.OnRound(round, correctCount)
-		}
 
 		allCorrect := correctCount == cfg.N
 		if r.fs != nil && allCorrect {
@@ -402,6 +426,19 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		} else {
 			stable = 0
 			res.FirstAllCorrect = 0 // require the *final* streak for stability semantics
+		}
+		// Round barrier: the bookkeeping Snapshot captures is consistent from
+		// here on, so the hooks below may checkpoint.
+		r.completedRound, r.streak, r.firstAll, r.lastCorrect = round, stable, res.FirstAllCorrect, correctCount
+		if cfg.OnRound != nil {
+			cfg.OnRound(round, correctCount)
+		}
+		if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil && round%cfg.CheckpointEvery == 0 {
+			data, err := r.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("sim: round %d: checkpoint: %w", round, err)
+			}
+			cfg.OnCheckpoint(round, data)
 		}
 
 		if finiteRounds > 0 {

@@ -310,6 +310,16 @@ type Config struct {
 	// Result.Faults for the completed records). It runs on the engine's
 	// goroutine.
 	OnFault func(faults.Record)
+	// CheckpointEvery, when positive, makes the engine snapshot its complete
+	// state every CheckpointEvery rounds and pass the encoding to
+	// OnCheckpoint (see Runner.Snapshot/Restore). Zero disables
+	// checkpointing. Checkpoints are taken at round barriers and do not
+	// perturb the trajectory.
+	CheckpointEvery int
+	// OnCheckpoint receives each periodic checkpoint. It runs on the
+	// engine's goroutine; the snapshot buffer is freshly allocated and owned
+	// by the callee.
+	OnCheckpoint func(round int, snapshot []byte)
 }
 
 // Result reports a finished simulation.

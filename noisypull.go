@@ -318,6 +318,28 @@ func (r *Runner) SetOnRound(fn func(round, correct int)) { r.r.SetOnRound(fn) }
 // SetOnRound.
 func (r *Runner) SetOnFault(fn func(FaultRecord)) { r.r.SetOnFault(fn) }
 
+// SetCheckpoint configures periodic checkpointing: every `every` rounds the
+// runner snapshots itself and hands the encoded state to fn. every <= 0 or a
+// nil fn disables checkpointing. Must not be called while a Run is in
+// progress.
+func (r *Runner) SetCheckpoint(every int, fn func(round int, snapshot []byte)) {
+	r.r.SetCheckpoint(every, fn)
+}
+
+// Snapshot serializes the runner's complete resumable state — population,
+// RNG streams, round bookkeeping, and pending-fault position — into a
+// versioned, checksummed binary blob. Valid between runs, from OnRound /
+// checkpoint hooks, and after a cancelled run; Restore on an identically
+// configured runner then continues the run bit-identically.
+func (r *Runner) Snapshot() ([]byte, error) { return r.r.Snapshot() }
+
+// Restore rewinds the runner to a state previously captured by Snapshot on
+// an identically configured runner (same shape, seed, protocol, noise, and
+// fault schedule — enforced by an embedded fingerprint). The subsequent
+// Run continues from the snapshot's round and is bit-identical to the
+// uninterrupted run.
+func (r *Runner) Restore(data []byte) error { return r.r.Restore(data) }
+
 // Close releases the runner's worker pool. Idempotent.
 func (r *Runner) Close() { r.r.Close() }
 
