@@ -8,6 +8,7 @@
 //	bench -baseline BENCH_old.json     # embed old numbers + speedups
 //	bench -cpu 1,4,8                   # sweep GOMAXPROCS per case
 //	bench -list                        # print case names and exit
+//	bench -gate -baseline BENCH.json   # CI perf gate: fail on regression
 package main
 
 import (
@@ -54,9 +55,12 @@ type Record struct {
 
 // File is the schema of BENCH_<date>.json.
 type File struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Notes carries free-form annotations about the measurement environment
+	// or anomalies (-note flag), so a trajectory file can explain itself.
+	Notes      []string `json:"notes,omitempty"`
 	Benchmarks []Record `json:"benchmarks"`
 }
 
@@ -82,7 +86,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cpuList  = fs.String("cpu", "", "comma-separated GOMAXPROCS values to sweep per case (e.g. 1,4,8)")
 		list     = fs.Bool("list", false, "list case names and exit")
 		version  = fs.Bool("version", false, "print version and exit")
+		gate     = fs.Bool("gate", false, "perf-gate mode: compare against -baseline, print a delta table, and fail on regression; no output file is written unless -out is set")
+		gateNs   = fs.Float64("gate-ns", 1.25, "gate: max tolerated ns/op ratio vs baseline (1.25 = +25%); generous because CI runners are noisy")
+		gateAllo = fs.Float64("gate-allocs", 1.25, "gate: max tolerated allocs/op ratio vs baseline (allocation counts are near-deterministic, so regressions are real)")
 	)
+	var notes noteList
+	fs.Var(&notes, "note", "annotation recorded in the output file's notes array (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +116,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return nil
 	}
 
+	if *gate && *baseline == "" {
+		return errors.New("-gate requires -baseline (the committed BENCH_*.json to diff against)")
+	}
+	if *gateNs <= 0 || *gateAllo <= 0 {
+		return fmt.Errorf("gate tolerances must be positive, got -gate-ns %v -gate-allocs %v", *gateNs, *gateAllo)
+	}
+
 	var base map[string]Record
 	if *baseline != "" {
 		if base, err = loadBaseline(*baseline); err != nil {
@@ -118,6 +134,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Notes:      notes,
 	}
 	for _, c := range bench.Suite() {
 		if !re.MatchString(c.Name) {
@@ -190,18 +207,86 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("no cases match -filter %q", *filter)
 	}
 
-	path := *outPath
-	if path == "" {
-		path = "BENCH_" + file.Date + ".json"
+	if !*gate || *outPath != "" {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_" + file.Date + ".json"
+		}
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "wrote", path)
 	}
-	data, err := json.MarshalIndent(file, "", "  ")
-	if err != nil {
-		return err
+	if *gate {
+		return gateReport(out, *baseline, file.Benchmarks, *gateNs, *gateAllo)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return err
+	return nil
+}
+
+// gateReport prints a benchstat-style delta table of the fresh records
+// against their baselines and returns an error naming every case whose
+// ns/op or allocs/op ratio exceeds its tolerance. Cases absent from the
+// baseline are listed as new and never fail the gate (the next committed
+// baseline picks them up).
+func gateReport(out io.Writer, baselinePath string, recs []Record, nsTol, allocTol float64) error {
+	fmt.Fprintf(out, "\nperf gate vs %s (tolerances: %.2fx ns/op, %.2fx allocs/op)\n", baselinePath, nsTol, allocTol)
+	fmt.Fprintf(out, "%-28s %14s %14s %8s %12s %12s %8s  %s\n",
+		"name", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta", "status")
+	var failures []string
+	for _, rec := range recs {
+		name := recordKey(rec.Name, rec.CPU)
+		if rec.Baseline == nil {
+			fmt.Fprintf(out, "%-28s %14s %14.0f %8s %12s %12d %8s  new (not gated)\n",
+				name, "-", rec.NsPerOp, "-", "-", rec.AllocsPerOp, "-")
+			continue
+		}
+		b := rec.Baseline
+		status := "ok"
+		if b.NsPerOp > 0 && rec.NsPerOp > b.NsPerOp*nsTol {
+			status = "REGRESSION: ns/op"
+			failures = append(failures, fmt.Sprintf("%s ns/op %.0f -> %.0f (%+.1f%%, tolerance %+.0f%%)",
+				name, b.NsPerOp, rec.NsPerOp, deltaPct(b.NsPerOp, rec.NsPerOp), (nsTol-1)*100))
+		}
+		if b.AllocsPerOp > 0 && float64(rec.AllocsPerOp) > float64(b.AllocsPerOp)*allocTol {
+			if status == "ok" {
+				status = "REGRESSION: allocs/op"
+			} else {
+				status += "+allocs/op"
+			}
+			failures = append(failures, fmt.Sprintf("%s allocs/op %d -> %d (%+.1f%%, tolerance %+.0f%%)",
+				name, b.AllocsPerOp, rec.AllocsPerOp, deltaPct(float64(b.AllocsPerOp), float64(rec.AllocsPerOp)), (allocTol-1)*100))
+		}
+		fmt.Fprintf(out, "%-28s %14.0f %14.0f %+7.1f%% %12d %12d %+7.1f%%  %s\n",
+			name, b.NsPerOp, rec.NsPerOp, deltaPct(b.NsPerOp, rec.NsPerOp),
+			b.AllocsPerOp, rec.AllocsPerOp, deltaPct(float64(b.AllocsPerOp), float64(rec.AllocsPerOp)),
+			status)
 	}
-	fmt.Fprintln(out, "wrote", path)
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate failed, %d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(out, "perf gate passed")
+	return nil
+}
+
+// deltaPct is the benchstat-style percentage change from old to new.
+func deltaPct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// noteList collects repeated -note flags.
+type noteList []string
+
+func (n *noteList) String() string { return strings.Join(*n, "; ") }
+
+func (n *noteList) Set(v string) error {
+	*n = append(*n, v)
 	return nil
 }
 

@@ -125,6 +125,111 @@ func TestCPUSweep(t *testing.T) {
 	}
 }
 
+// writeBaseline marshals a synthetic baseline file into dir and returns its
+// path.
+func writeBaseline(t *testing.T, dir string, f File) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-gate", "-filter", "^ReduceNoise$"}, &sb); err == nil {
+		t.Fatal("-gate without -baseline accepted")
+	}
+	base := writeBaseline(t, t.TempDir(), File{Date: "2000-01-01",
+		Benchmarks: []Record{{Name: "ReduceNoise", NsPerOp: 1e12, AllocsPerOp: 1 << 40}}})
+	for _, bad := range [][]string{
+		{"-gate", "-baseline", base, "-gate-ns", "0", "-filter", "^ReduceNoise$"},
+		{"-gate", "-baseline", base, "-gate-allocs", "-1", "-filter", "^ReduceNoise$"},
+	} {
+		if err := run(context.Background(), bad, &sb); err == nil {
+			t.Fatalf("non-positive tolerance accepted: %v", bad)
+		}
+	}
+}
+
+// TestGatePasses gates the cheapest real case against an enormous baseline:
+// the gate must pass, print the delta table, and write no output file.
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBaseline(t, dir, File{Date: "2000-01-01",
+		Benchmarks: []Record{{Name: "ReduceNoise", NsPerOp: 1e12, AllocsPerOp: 1 << 40}}})
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	var sb strings.Builder
+	if err := run(context.Background(), []string{
+		"-gate", "-baseline", base, "-filter", "^ReduceNoise$",
+	}, &sb); err != nil {
+		t.Fatalf("gate failed against huge baseline: %v\n%s", err, sb.String())
+	}
+	got := sb.String()
+	if !strings.Contains(got, "perf gate passed") || !strings.Contains(got, "ReduceNoise") {
+		t.Fatalf("gate report missing: %s", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "BENCH_") {
+			t.Fatalf("gate mode wrote %s without -out", e.Name())
+		}
+	}
+}
+
+// TestGateDetectsRegression gates against a baseline with impossibly small
+// numbers, so the fresh run must exceed both tolerances and fail.
+func TestGateDetectsRegression(t *testing.T) {
+	base := writeBaseline(t, t.TempDir(), File{Date: "2000-01-01",
+		Benchmarks: []Record{{Name: "ReduceNoise", NsPerOp: 0.001, AllocsPerOp: 1}}})
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-gate", "-baseline", base, "-filter", "^ReduceNoise$",
+	}, &sb)
+	if err == nil {
+		t.Fatalf("gate passed against tiny baseline:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "regression") || !strings.Contains(err.Error(), "ReduceNoise") {
+		t.Fatalf("gate error does not name the regression: %v", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("delta table missing REGRESSION status: %s", sb.String())
+	}
+}
+
+// TestGateNewCaseNotGated checks that a case absent from the baseline is
+// reported as new and does not fail the gate.
+func TestGateNewCaseNotGated(t *testing.T) {
+	base := writeBaseline(t, t.TempDir(), File{Date: "2000-01-01",
+		Benchmarks: []Record{{Name: "SomethingElse", NsPerOp: 0.001, AllocsPerOp: 1}}})
+	var sb strings.Builder
+	if err := run(context.Background(), []string{
+		"-gate", "-baseline", base, "-filter", "^ReduceNoise$",
+	}, &sb); err != nil {
+		t.Fatalf("new case failed the gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "new (not gated)") {
+		t.Fatalf("new case not reported: %s", sb.String())
+	}
+}
+
 // TestRunWritesFile runs the cheapest real case end to end, with a synthetic
 // baseline, and checks the JSON schema round-trips with deltas attached.
 func TestRunWritesFile(t *testing.T) {

@@ -51,7 +51,10 @@ func Suite() []Case {
 		{"ReduceNoise", ReduceNoise},
 		{"LargeScaleHn", LargeScaleHn},
 		{"ScaleVoter1MAggregate", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendAggregate, noisypull.VoterBaseline)},
+		{"ScaleVoter1MExact", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendExact, noisypull.VoterBaseline)},
+		{"ScaleVoter1MScalar", scalarRoundsCase(1_000_000, 8, 8, noisypull.BackendAggregate, noisypull.VoterBaseline)},
 		{"ScaleVoter1MCounts", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendCounts, noisypull.VoterBaseline)},
+		{"ScaleSF1MAggregate", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendAggregate, noisypull.NewSourceFilter())},
 		{"ScaleMajority1MAggregate", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendAggregate, noisypull.MajorityBaseline)},
 		{"ScaleMajority1MCounts", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendCounts, noisypull.MajorityBaseline)},
 		{"ScaleMajority100MCounts", ScaleMajority100MCounts},

@@ -12,9 +12,22 @@ import (
 // full convergence run at n = 10⁸ that only the counts backend can afford.
 
 // fixedRoundsCase measures exactly maxRounds rounds of the given baseline
-// dynamics at population n — the stability window is pushed past the round
-// budget so every backend executes the identical number of rounds.
+// dynamics at population n — the stability window equals the round budget,
+// so converging early would require an all-correct population from round 1
+// on, unreachable with 1% sources (the Rounds check below enforces it).
+// Every backend therefore executes the identical number of rounds. The
+// per-agent backends take the vectorized engine path when eligible;
+// scalarRoundsCase pins the legacy path for the same workload, making the
+// two cases' ns/op ratio the vectorization speedup.
 func fixedRoundsCase(n, h, maxRounds int, backend noisypull.Backend, proto noisypull.Protocol) func(b *testing.B) {
+	return fixedRoundsCaseOpts(n, h, maxRounds, backend, proto, false)
+}
+
+func scalarRoundsCase(n, h, maxRounds int, backend noisypull.Backend, proto noisypull.Protocol) func(b *testing.B) {
+	return fixedRoundsCaseOpts(n, h, maxRounds, backend, proto, true)
+}
+
+func fixedRoundsCaseOpts(n, h, maxRounds int, backend noisypull.Backend, proto noisypull.Protocol, forceScalar bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.Helper()
 		nm, err := noisypull.UniformNoise(2, 0.1)
@@ -34,7 +47,8 @@ func fixedRoundsCase(n, h, maxRounds int, backend noisypull.Backend, proto noisy
 				Seed:            uint64(i + 1),
 				Backend:         backend,
 				MaxRounds:       maxRounds,
-				StabilityWindow: maxRounds + 1,
+				StabilityWindow: maxRounds,
+				ForceScalar:     forceScalar,
 			})
 			if err != nil {
 				b.Fatal(err)

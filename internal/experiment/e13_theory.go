@@ -88,12 +88,12 @@ func e13Theory() Experiment {
 					if _, err := runner.Run(); err != nil {
 						return nil, err
 					}
-					for _, a := range runner.Agents() {
-						w, ok := a.(interface{ WeakOpinion() int })
+					for i := 0; i < pt.n; i++ {
+						w, ok := runner.AgentWeakOpinion(i)
 						if !ok {
 							continue
 						}
-						if w.WeakOpinion() == 1 { // correct opinion is 1
+						if w == 1 { // correct opinion is 1
 							correct++
 						}
 						total++
@@ -168,12 +168,12 @@ func e13Theory() Experiment {
 					if _, err := runner.Run(); err != nil {
 						return nil, err
 					}
-					for _, a := range runner.Agents() {
-						w, ok := a.(interface{ WeakOpinion() int })
+					for i := 0; i < pt.n; i++ {
+						w, ok := runner.AgentWeakOpinion(i)
 						if !ok {
 							continue
 						}
-						if w.WeakOpinion() == 1 {
+						if w == 1 {
 							correct++
 						}
 						total++

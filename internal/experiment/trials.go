@@ -165,6 +165,9 @@ func lnF(n int) float64 {
 }
 
 // runAsyncTrials is runTrials for the asynchronous scheduler (sim.NewAsync).
+// Like runTrials, each worker goroutine keeps one runner and rewinds it with
+// Reset between trials whenever consecutive configurations are identical up
+// to the seed, avoiding per-trial population construction.
 func runAsyncTrials(opts Options, gridPoint, trials int, makeCfg func(seed uint64) sim.Config) (*trialBatch, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("experiment: trials = %d", trials)
@@ -186,12 +189,24 @@ func runAsyncTrials(opts Options, gridPoint, trials int, makeCfg func(seed uint6
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var runner *sim.AsyncRunner
+			var runnerCfg sim.Config
 			for t := range next {
 				cfg := makeCfg(trialSeed(opts.Seed, gridPoint, t))
-				runner, err := sim.NewAsync(cfg)
-				if err != nil {
-					errs[t] = err
-					continue
+				if runner != nil && runnerCfg.ResetCompatible(&cfg) {
+					if err := runner.Reset(cfg.Seed); err != nil {
+						errs[t] = err
+						runner = nil
+						continue
+					}
+				} else {
+					var err error
+					if runner, err = sim.NewAsync(cfg); err != nil {
+						errs[t] = err
+						runner = nil
+						continue
+					}
+					runnerCfg = cfg
 				}
 				results[t], errs[t] = runner.RunContext(ctx)
 			}

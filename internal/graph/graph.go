@@ -17,33 +17,37 @@ import (
 	"noisypull/internal/rng"
 )
 
-// Graph is an undirected simple graph on vertices 0..n-1 stored as
-// adjacency lists. Construct with one of the generators; the zero value is
-// not usable.
+// Graph is an undirected simple graph on vertices 0..n-1 stored in
+// compressed sparse row form: one flat neighbor slice plus per-vertex
+// offsets. The layout costs two allocations per graph instead of one per
+// vertex and keeps each adjacency list contiguous, which matters to the
+// per-trial graph construction of experiment E18. Construct with one of the
+// generators; the zero value is not usable.
 type Graph struct {
-	n   int
-	adj [][]int32
+	n    int
+	off  []int32 // n+1 offsets into nbrs; vertex v owns nbrs[off[v]:off[v+1]]
+	nbrs []int32
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
 // Degree returns the degree of vertex v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
 // Neighbors returns the adjacency list of v without copying; callers must
 // not modify it.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+func (g *Graph) Neighbors(v int) []int32 { return g.nbrs[g.off[v]:g.off[v+1]] }
 
 // MinDegree returns the smallest vertex degree.
 func (g *Graph) MinDegree() int {
 	if g.n == 0 {
 		return 0
 	}
-	min := len(g.adj[0])
-	for _, a := range g.adj[1:] {
-		if len(a) < min {
-			min = len(a)
+	min := g.Degree(0)
+	for v := 1; v < g.n; v++ {
+		if d := g.Degree(v); d < min {
+			min = d
 		}
 	}
 	return min
@@ -62,7 +66,7 @@ func (g *Graph) IsConnected() bool {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(int(v)) {
 			if !seen[w] {
 				seen[w] = true
 				visited++
@@ -73,22 +77,29 @@ func (g *Graph) IsConnected() bool {
 	return visited == g.n
 }
 
-// build assembles a Graph from an edge set given as pair slices.
+// build assembles a Graph from an edge set given as pair slices. Neighbors
+// are laid down in edge order, matching what per-vertex appends would
+// produce, so the CSR layout does not change any sampling trace.
 func build(n int, us, vs []int32) *Graph {
-	adj := make([][]int32, n)
-	deg := make([]int, n)
+	off := make([]int32, n+1)
 	for i := range us {
-		deg[us[i]]++
-		deg[vs[i]]++
+		off[us[i]+1]++
+		off[vs[i]+1]++
 	}
-	for v := range adj {
-		adj[v] = make([]int32, 0, deg[v])
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
 	}
+	nbrs := make([]int32, off[n])
+	cur := make([]int32, n)
+	copy(cur, off[:n])
 	for i := range us {
-		adj[us[i]] = append(adj[us[i]], vs[i])
-		adj[vs[i]] = append(adj[vs[i]], us[i])
+		u, v := us[i], vs[i]
+		nbrs[cur[u]] = v
+		cur[u]++
+		nbrs[cur[v]] = u
+		cur[v]++
 	}
-	return &Graph{n: n, adj: adj}
+	return &Graph{n: n, off: off, nbrs: nbrs}
 }
 
 // Ring returns the circulant graph on n vertices where every vertex is
@@ -107,6 +118,61 @@ func Ring(n, k int) (*Graph, error) {
 		}
 	}
 	return build(n, us, vs), nil
+}
+
+// edgeSet is a linear-probing hash multiset of normalized edge keys. It
+// replaces a map[edge]int in RandomRegular's repair loop: the table is one
+// allocation sized up front, and slots are never vacated (multiplicities
+// drop to zero but the key stays), which keeps probing correct without
+// tombstones. The repair loop inserts at most 3m distinct keys (m pairing
+// edges plus two per conflict-removing swap, of which there are at most m),
+// so a table of 4m power-of-two slots stays below 3/4 load.
+type edgeSet struct {
+	keys []uint64 // normalized key + 1; 0 marks an empty slot
+	cnt  []int32
+	mask uint64
+}
+
+func newEdgeSet(edges int) *edgeSet {
+	size := 16
+	for size < 4*edges {
+		size *= 2
+	}
+	return &edgeSet{
+		keys: make([]uint64, size),
+		cnt:  make([]int32, size),
+		mask: uint64(size - 1),
+	}
+}
+
+func edgeKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return (uint64(uint32(a))<<32 | uint64(uint32(b))) + 1
+}
+
+// slot returns the index holding key, or the empty slot where it belongs.
+func (s *edgeSet) slot(key uint64) int {
+	i := (key * 0x9e3779b97f4a7c15) & s.mask
+	for s.keys[i] != 0 && s.keys[i] != key {
+		i = (i + 1) & s.mask
+	}
+	return int(i)
+}
+
+func (s *edgeSet) add(key uint64, delta int32) {
+	i := s.slot(key)
+	s.keys[i] = key
+	s.cnt[i] += delta
+}
+
+func (s *edgeSet) count(key uint64) int32 {
+	i := s.slot(key)
+	if s.keys[i] == 0 {
+		return 0
+	}
+	return s.cnt[i]
 }
 
 // RandomRegular returns a random d-regular simple graph via the pairing
@@ -130,27 +196,20 @@ func RandomRegular(n, d int, seed uint64) (*Graph, error) {
 	}
 	r.Shuffle(len(half), func(i, j int) { half[i], half[j] = half[j], half[i] })
 
-	type edge struct{ a, b int32 }
-	norm := func(a, b int32) edge {
-		if a > b {
-			a, b = b, a
-		}
-		return edge{a, b}
-	}
 	m := len(half) / 2
 	us := make([]int32, m)
 	vs := make([]int32, m)
-	seen := make(map[edge]int, m) // multiplicity of each normalized edge
+	seen := newEdgeSet(m) // multiplicity of each normalized edge
 	for i := 0; i < m; i++ {
 		us[i], vs[i] = half[2*i], half[2*i+1]
-		seen[norm(us[i], vs[i])]++
+		seen.add(edgeKey(us[i], vs[i]), 1)
 	}
 	// bad reports whether edge i is a self-loop or part of a multi-edge.
 	bad := func(i int) bool {
 		if us[i] == vs[i] {
 			return true
 		}
-		return seen[norm(us[i], vs[i])] > 1
+		return seen.count(edgeKey(us[i], vs[i])) > 1
 	}
 	// Repair by random double-edge swaps: replace (a,b),(c,d) with
 	// (a,d),(c,b) when that strictly removes a conflict without adding one.
@@ -176,14 +235,14 @@ func RandomRegular(n, d int, seed uint64) (*Graph, error) {
 		if a == d2 || c == b {
 			continue
 		}
-		if seen[norm(a, d2)] > 0 || seen[norm(c, b)] > 0 {
+		if seen.count(edgeKey(a, d2)) > 0 || seen.count(edgeKey(c, b)) > 0 {
 			continue
 		}
-		seen[norm(a, b)]--
-		seen[norm(c, d2)]--
+		seen.add(edgeKey(a, b), -1)
+		seen.add(edgeKey(c, d2), -1)
 		vs[i], vs[j] = d2, b
-		seen[norm(a, d2)]++
-		seen[norm(c, b)]++
+		seen.add(edgeKey(a, d2), 1)
+		seen.add(edgeKey(c, b), 1)
 	}
 	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d) repair did not converge", n, d)
 }

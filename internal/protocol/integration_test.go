@@ -91,7 +91,11 @@ func TestSFWrongPreferenceSourcesFlip(t *testing.T) {
 	}
 	// Agents [8, 12) are the 0-preference sources; all must now hold 1.
 	for i := 8; i < 12; i++ {
-		if got := r.Agents()[i].Opinion(); got != 1 {
+		_, got, err := r.AgentState(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
 			t.Fatalf("wrong-preference source %d holds %d", i, got)
 		}
 	}
@@ -128,8 +132,11 @@ func TestSFWeakOpinionBias(t *testing.T) {
 		if _, err := r.Run(); err != nil {
 			t.Fatal(err)
 		}
-		for _, a := range r.Agents() {
-			w := a.(weakOpinioner).WeakOpinion()
+		for i := 0; i < n; i++ {
+			w, ok := r.AgentWeakOpinion(i)
+			if !ok {
+				t.Fatalf("agent %d: no weak opinion exposed", i)
+			}
 			if w == 1 { // correct opinion is 1
 				correctWeak++
 			}

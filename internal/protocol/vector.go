@@ -1,0 +1,451 @@
+package protocol
+
+// Vectorized struct-of-arrays populations (sim.VecPopulation) for the
+// binary-alphabet protocols. Each kernel replicates its scalar agent's
+// update law exactly — same branches, same tie-breaking, same corruption
+// adversary — but stores the population as flat slices and consumes the
+// round's observation law (sim.VecObs) instead of per-agent sample counts:
+//
+//   - Voter: adopting the symbol of one uniformly chosen observation among
+//     h i.i.d. draws from the mixture q is marginally one Bernoulli(q₁)
+//     draw, so the kernel spends a single uniform per non-source and never
+//     materializes counts at all.
+//   - MajorityRule and SF consume the full count vector (k₁, h−k₁), so
+//     they draw k₁ from the shared cached Binomial(h, q₁) sampler — one
+//     draw per agent, with the sampler's setup paid once per round.
+//
+// The kernels draw from the chunk stream in agent-index order; their
+// trajectories are deterministic in (seed, chunk layout) and independent of
+// the worker count, but deliberately NOT bit-identical to the scalar path,
+// which burns randomness per-agent-stream (see DESIGN §3.9).
+
+import (
+	"fmt"
+
+	"noisypull/internal/rng"
+	"noisypull/internal/sim"
+)
+
+// NewVecPopulation implements sim.VecProtocol.
+func (Voter) NewVecPopulation(spec sim.VecSpec) sim.VecPopulation {
+	return &voterPop{spec: spec, opinion: make([]uint8, spec.Env.N)}
+}
+
+// voterPop is the voter population: the opinion doubles as the display
+// symbol (sources' opinions are pinned to their preference).
+type voterPop struct {
+	spec    sim.VecSpec
+	opinion []uint8
+}
+
+func (p *voterPop) InitRange(lo, hi int, r *rng.Stream) {
+	wrong := uint8(1 - p.spec.Correct)
+	s1, s0 := p.spec.Sources1, p.spec.Sources0
+	for i := lo; i < hi; i++ {
+		switch {
+		case i < s1:
+			p.opinion[i] = 1
+		case i < s1+s0:
+			p.opinion[i] = 0
+		default:
+			p.opinion[i] = 0
+			switch p.spec.Corruption {
+			case sim.CorruptWrongConsensus:
+				p.opinion[i] = wrong
+			case sim.CorruptRandom:
+				p.opinion[i] = uint8(r.Coin())
+			}
+		}
+	}
+}
+
+func (p *voterPop) CountRange(lo, hi int, counts []int) {
+	ones := 0
+	for _, o := range p.opinion[lo:hi] {
+		ones += int(o)
+	}
+	counts[1] += ones
+	counts[0] += hi - lo - ones
+}
+
+func (p *voterPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int {
+	q1 := obs.Q1
+	ones := 0
+	s1, s0 := p.spec.Sources1, p.spec.Sources0
+	for i := lo; i < hi; i++ {
+		if i < s1 {
+			ones++
+			continue
+		}
+		if i < s1+s0 {
+			continue
+		}
+		// Adopting a uniformly chosen observation among h i.i.d. draws from
+		// the round mixture is marginally a single Bernoulli(q₁).
+		if r.Float64() < q1 {
+			p.opinion[i] = 1
+			ones++
+		} else {
+			p.opinion[i] = 0
+		}
+	}
+	return ones
+}
+
+func (p *voterPop) State(i int) (display, opinion int) {
+	return int(p.opinion[i]), int(p.opinion[i])
+}
+
+func (p *voterPop) SnapshotRange(w *sim.SnapWriter, lo, hi int) {
+	for _, o := range p.opinion[lo:hi] {
+		w.U8(o)
+	}
+}
+
+func (p *voterPop) RestoreRange(rd *sim.SnapReader, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		o := rd.U8()
+		if o > 1 {
+			return fmt.Errorf("protocol: voter snapshot agent %d has opinion %d", i, o)
+		}
+		p.opinion[i] = o
+	}
+	return rd.Err()
+}
+
+// NewVecPopulation implements sim.VecProtocol.
+func (MajorityRule) NewVecPopulation(spec sim.VecSpec) sim.VecPopulation {
+	return &majorityPop{spec: spec, opinion: make([]uint8, spec.Env.N)}
+}
+
+// majorityPop is the h-majority population; like voter, the opinion is the
+// display symbol.
+type majorityPop struct {
+	spec    sim.VecSpec
+	opinion []uint8
+}
+
+func (p *majorityPop) InitRange(lo, hi int, r *rng.Stream) {
+	wrong := uint8(1 - p.spec.Correct)
+	s1, s0 := p.spec.Sources1, p.spec.Sources0
+	for i := lo; i < hi; i++ {
+		switch {
+		case i < s1:
+			p.opinion[i] = 1
+		case i < s1+s0:
+			p.opinion[i] = 0
+		default:
+			// Balanced parity initialization, as in the scalar agent.
+			p.opinion[i] = uint8(i % 2)
+			switch p.spec.Corruption {
+			case sim.CorruptWrongConsensus:
+				p.opinion[i] = wrong
+			case sim.CorruptRandom:
+				p.opinion[i] = uint8(r.Coin())
+			}
+		}
+	}
+}
+
+func (p *majorityPop) CountRange(lo, hi int, counts []int) {
+	ones := 0
+	for _, o := range p.opinion[lo:hi] {
+		ones += int(o)
+	}
+	counts[1] += ones
+	counts[0] += hi - lo - ones
+}
+
+func (p *majorityPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int {
+	h := obs.H
+	ones := 0
+	s1, s0 := p.spec.Sources1, p.spec.Sources0
+	for i := lo; i < hi; i++ {
+		if i < s1 {
+			ones++
+			continue
+		}
+		if i < s1+s0 {
+			continue
+		}
+		k1 := obs.Bin.Sample(r)
+		var o uint8
+		switch {
+		case 2*k1 > h:
+			o = 1
+		case 2*k1 < h:
+			o = 0
+		default:
+			o = uint8(r.Coin())
+		}
+		p.opinion[i] = o
+		ones += int(o)
+	}
+	return ones
+}
+
+func (p *majorityPop) State(i int) (display, opinion int) {
+	return int(p.opinion[i]), int(p.opinion[i])
+}
+
+func (p *majorityPop) SnapshotRange(w *sim.SnapWriter, lo, hi int) {
+	for _, o := range p.opinion[lo:hi] {
+		w.U8(o)
+	}
+}
+
+func (p *majorityPop) RestoreRange(rd *sim.SnapReader, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		o := rd.U8()
+		if o > 1 {
+			return fmt.Errorf("protocol: majority snapshot agent %d has opinion %d", i, o)
+		}
+		p.opinion[i] = o
+	}
+	return rd.Err()
+}
+
+// NewVecPopulation implements sim.VecProtocol for SF (both the standard and
+// the alternating listening schedule).
+func (p *SF) NewVecPopulation(spec sim.VecSpec) sim.VecPopulation {
+	m, t, w, l, err := p.params(spec.Env)
+	if err != nil {
+		// The engine validates via Check/Rounds before construction;
+		// reaching here means the caller skipped validation — same contract
+		// as NewAgent.
+		panic(fmt.Sprintf("protocol: SF.NewVecPopulation with invalid env: %v", err))
+	}
+	n := spec.Env.N
+	pop := &sfPop{
+		spec: spec,
+		m:    m, phaseT: t, boostW: w, boostL: l,
+		total: 3*t + l*ceilDiv(w, spec.Env.H),
+		alt:   p.alternating,
+
+		round:    make([]int32, n),
+		counter1: make([]int32, n),
+		counter0: make([]int32, n),
+		weak:     make([]uint8, n),
+		opinion:  make([]uint8, n),
+		subPhase: make([]int32, n),
+	}
+	if p.alternating {
+		pop.firstSym = make([]uint8, n)
+	}
+	// Boosting counters need to hold up to quota+h−1; keep them in int to
+	// match the scalar agent's arithmetic exactly for any m override.
+	pop.boostOnes = make([]int, n)
+	pop.boostAll = make([]int, n)
+	return pop
+}
+
+// sfPop is the SF population as flat per-field slices; the field meanings
+// mirror sfAgent one-to-one.
+type sfPop struct {
+	spec                      sim.VecSpec
+	m, phaseT, boostW, boostL int
+	total                     int // full schedule length, for Corrupt's clock scramble
+	alt                       bool
+
+	firstSym  []uint8 // alternating variant only
+	round     []int32
+	counter1  []int32
+	counter0  []int32
+	weak      []uint8
+	opinion   []uint8
+	subPhase  []int32
+	boostOnes []int
+	boostAll  []int
+}
+
+func (p *sfPop) InitRange(lo, hi int, r *rng.Stream) {
+	s1, s0 := p.spec.Sources1, p.spec.Sources0
+	wrong := 1 - p.spec.Correct
+	for i := lo; i < hi; i++ {
+		p.round[i], p.counter1[i], p.counter0[i] = 0, 0, 0
+		p.weak[i], p.subPhase[i] = 0, 0
+		p.boostOnes[i], p.boostAll[i] = 0, 0
+		switch {
+		case i < s1:
+			p.opinion[i] = 1
+		case i < s1+s0:
+			p.opinion[i] = 0
+		default:
+			p.opinion[i] = 0
+		}
+		// Seeded init, then corruption — the scalar engine's per-agent order.
+		if p.alt {
+			p.firstSym[i] = uint8(r.Coin())
+		}
+		p.corrupt(i, wrong, r)
+	}
+}
+
+// corrupt applies the spec's round-0 adversary to agent i, mirroring
+// sfAgent.Corrupt (which, like the scalar version, also hits sources — SF
+// is not self-stabilizing and the experiments rely on that).
+func (p *sfPop) corrupt(i, wrong int, r *rng.Stream) {
+	switch p.spec.Corruption {
+	case sim.CorruptWrongConsensus:
+		p.opinion[i] = uint8(wrong)
+		p.weak[i] = uint8(wrong)
+		if wrong == 1 {
+			p.counter1[i], p.counter0[i] = int32(p.m), 0
+		} else {
+			p.counter1[i], p.counter0[i] = 0, int32(p.m)
+		}
+		p.round[i] = int32(r.Intn(p.total))
+	case sim.CorruptRandom:
+		p.opinion[i] = uint8(r.Coin())
+		p.weak[i] = uint8(r.Coin())
+		p.counter1[i] = int32(r.Intn(p.m + 1))
+		p.counter0[i] = int32(r.Intn(p.m + 1))
+		p.round[i] = int32(r.Intn(p.total))
+		p.subPhase[i] = int32(r.Intn(p.boostL + 1))
+		p.boostOnes[i] = r.Intn(p.boostW + 1)
+		p.boostAll[i] = p.boostOnes[i] + r.Intn(p.boostW+1)
+	}
+}
+
+// display mirrors sfAgent.Display for agent i.
+func (p *sfPop) display(i int) int {
+	rd := int(p.round[i])
+	if rd < 2*p.phaseT { // listening window
+		if i < p.spec.Sources1 {
+			return 1
+		}
+		if i < p.spec.Sources1+p.spec.Sources0 {
+			return 0
+		}
+		if p.alt {
+			return (int(p.firstSym[i]) + rd) % 2
+		}
+		if rd < p.phaseT {
+			return 0
+		}
+		return 1
+	}
+	return int(p.opinion[i])
+}
+
+func (p *sfPop) CountRange(lo, hi int, counts []int) {
+	ones := 0
+	for i := lo; i < hi; i++ {
+		ones += p.display(i)
+	}
+	counts[1] += ones
+	counts[0] += hi - lo - ones
+}
+
+func (p *sfPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int {
+	h := obs.H
+	ones := 0
+	for i := lo; i < hi; i++ {
+		k1 := obs.Bin.Sample(r)
+		rd := int(p.round[i])
+		switch {
+		case rd < 2*p.phaseT && p.alt:
+			p.counter1[i] += int32(k1)
+			p.counter0[i] += int32(h - k1)
+			if rd == 2*p.phaseT-1 {
+				w := majority32(p.counter1[i], p.counter0[i], r.Coin)
+				p.weak[i] = w
+				p.opinion[i] = w
+			}
+		case rd < p.phaseT:
+			p.counter1[i] += int32(k1)
+		case rd < 2*p.phaseT:
+			p.counter0[i] += int32(h - k1)
+			if rd == 2*p.phaseT-1 {
+				w := majority32(p.counter1[i], p.counter0[i], r.Coin)
+				p.weak[i] = w
+				p.opinion[i] = w
+			}
+		default:
+			p.boostOnes[i] += k1
+			p.boostAll[i] += h
+			quota := p.boostW
+			if int(p.subPhase[i]) >= p.boostL {
+				quota = p.m
+			}
+			if p.boostAll[i] >= quota {
+				p.opinion[i] = uint8(majority(p.boostOnes[i], p.boostAll[i]-p.boostOnes[i], r.Coin))
+				p.boostOnes[i], p.boostAll[i] = 0, 0
+				p.subPhase[i]++
+			}
+		}
+		p.round[i] = int32(rd + 1)
+		ones += int(p.opinion[i])
+	}
+	return ones
+}
+
+func (p *sfPop) State(i int) (display, opinion int) {
+	return p.display(i), int(p.opinion[i])
+}
+
+// WeakOpinionAt implements sim.VecWeakOpinions for Lemma 28 analysis.
+func (p *sfPop) WeakOpinionAt(i int) int { return int(p.weak[i]) }
+
+func (p *sfPop) SnapshotRange(w *sim.SnapWriter, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if p.alt {
+			w.U8(p.firstSym[i])
+		}
+		w.Int(int(p.round[i]))
+		w.Int(int(p.counter1[i]))
+		w.Int(int(p.counter0[i]))
+		w.U8(p.weak[i])
+		w.U8(p.opinion[i])
+		w.Int(int(p.subPhase[i]))
+		w.Int(p.boostOnes[i])
+		w.Int(p.boostAll[i])
+	}
+}
+
+func (p *sfPop) RestoreRange(rd *sim.SnapReader, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		if p.alt {
+			fs := rd.U8()
+			if fs > 1 {
+				return fmt.Errorf("protocol: SF snapshot agent %d has first symbol %d", i, fs)
+			}
+			p.firstSym[i] = fs
+		}
+		round := rd.Int()
+		c1 := rd.Int()
+		c0 := rd.Int()
+		weak := rd.U8()
+		op := rd.U8()
+		sub := rd.Int()
+		bOnes := rd.Int()
+		bAll := rd.Int()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if round < 0 || c1 < 0 || c0 < 0 || sub < 0 || bOnes < 0 || bAll < bOnes || weak > 1 || op > 1 {
+			return fmt.Errorf("protocol: SF snapshot agent %d has inconsistent state", i)
+		}
+		p.round[i] = int32(round)
+		p.counter1[i] = int32(c1)
+		p.counter0[i] = int32(c0)
+		p.weak[i] = weak
+		p.opinion[i] = op
+		p.subPhase[i] = int32(sub)
+		p.boostOnes[i] = bOnes
+		p.boostAll[i] = bAll
+	}
+	return rd.Err()
+}
+
+// majority32 is majority for int32 counters.
+func majority32(ones, zeros int32, coin func() int) uint8 {
+	switch {
+	case ones > zeros:
+		return 1
+	case zeros > ones:
+		return 0
+	default:
+		return uint8(coin())
+	}
+}

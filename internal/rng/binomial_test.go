@@ -1,0 +1,123 @@
+package rng
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBinomialDistMatchesStream pins the contract the vectorized engine
+// depends on: for any (n, p), BinomialDist.Sample must return the same
+// values AND consume the same number of stream draws as Stream.Binomial.
+func TestBinomialDistMatchesStream(t *testing.T) {
+	ns := []int{0, 1, 2, 7, 29, 64, 300, 5000}
+	ps := []float64{-0.5, 0, 1e-9, 0.01, 0.2, 0.4999, 0.5, 0.5001, 0.8, 0.999, 1, 1.5}
+	for _, n := range ns {
+		for _, p := range ps {
+			a := New(DeriveSeed(42, uint64(n)))
+			b := New(DeriveSeed(42, uint64(n)))
+			var d BinomialDist
+			d.Init(n, p)
+			for i := 0; i < 200; i++ {
+				want := a.Binomial(n, p)
+				got := d.Sample(b)
+				if got != want {
+					t.Fatalf("n=%d p=%v draw %d: dist %d, stream %d", n, p, i, got, want)
+				}
+			}
+			// Same draw count: the streams must still be in lockstep.
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("n=%d p=%v: streams desynchronized after 200 draws", n, p)
+			}
+		}
+	}
+}
+
+// TestBinomialDistReuse checks Init is idempotent and re-Init on new
+// parameters fully resets the sampler (no state leaks across Init calls,
+// including the degenerate and flipped kinds).
+func TestBinomialDistReuse(t *testing.T) {
+	var d BinomialDist
+	r := New(7)
+	params := []struct {
+		n int
+		p float64
+	}{{100, 0.9}, {0, 0.5}, {50, 0.3}, {10, 0}, {2000, 0.45}, {5, 1}}
+	for _, pr := range params {
+		d.Init(pr.n, pr.p)
+		ref := New(DeriveSeed(9, uint64(pr.n)))
+		chk := New(DeriveSeed(9, uint64(pr.n)))
+		for i := 0; i < 50; i++ {
+			if got, want := d.Sample(chk), ref.Binomial(pr.n, pr.p); got != want {
+				t.Fatalf("after re-Init(%d, %v): dist %d, stream %d", pr.n, pr.p, got, want)
+			}
+		}
+		_ = r
+	}
+	if d.N() != 5 {
+		t.Fatalf("N() = %d after last Init, want 5", d.N())
+	}
+}
+
+// TestBinomialDistConcurrentSharing: one initialized dist, many streams.
+// Sample must not mutate the dist, so concurrent samplers with private
+// streams must each reproduce their serial trajectories. Run with -race.
+func TestBinomialDistConcurrentSharing(t *testing.T) {
+	var d BinomialDist
+	d.Init(1000, 0.37) // BTRS regime
+	const workers = 8
+	want := make([][]int, workers)
+	for w := range want {
+		s := New(DeriveSeed(3, uint64(w)))
+		want[w] = make([]int, 500)
+		for i := range want[w] {
+			want[w][i] = d.Sample(s)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := New(DeriveSeed(3, uint64(w)))
+			for i := 0; i < 500; i++ {
+				if got := d.Sample(s); got != want[w][i] {
+					t.Errorf("worker %d draw %d: %d, want %d", w, i, got, want[w][i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestBinomialDistMoments: mean and variance sanity for both regimes,
+// independent of the stream-parity pin above.
+func TestBinomialDistMoments(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{{40, 0.1}, {500, 0.25}, {500, 0.75}}
+	r := New(123)
+	for _, c := range cases {
+		var d BinomialDist
+		d.Init(c.n, c.p)
+		const trials = 20000
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			v := float64(d.Sample(r))
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / trials
+		wantMean := float64(c.n) * c.p
+		sd := math.Sqrt(float64(c.n) * c.p * (1 - c.p))
+		if math.Abs(mean-wantMean) > 5*sd/math.Sqrt(trials) {
+			t.Errorf("n=%d p=%v: mean %.3f, want %.3f", c.n, c.p, mean, wantMean)
+		}
+		variance := sumsq/trials - mean*mean
+		if math.Abs(variance-sd*sd) > 0.1*sd*sd+1 {
+			t.Errorf("n=%d p=%v: variance %.3f, want %.3f", c.n, c.p, variance, sd*sd)
+		}
+	}
+}

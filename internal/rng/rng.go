@@ -204,91 +204,14 @@ func (r *Stream) Shuffle(n int, swap func(i, j int)) {
 const btrsThreshold = 30
 
 // Binomial returns an exact sample from Binomial(n, p).
-// It panics if n < 0; p is clamped to [0, 1].
+// It panics if n < 0; p is clamped to [0, 1]. One-shot draws pay the full
+// per-distribution setup; callers sampling the same (n, p) repeatedly
+// should Init a BinomialDist once and Sample from it instead — the two
+// consume the stream identically.
 func (r *Stream) Binomial(n int, p float64) int {
-	if n < 0 {
-		panic("rng: Binomial with n < 0")
-	}
-	if n == 0 || p <= 0 {
-		return 0
-	}
-	if p >= 1 {
-		return n
-	}
-	if p > 0.5 {
-		return n - r.Binomial(n, 1-p)
-	}
-	if float64(n)*p < btrsThreshold {
-		return r.binomialInversion(n, p)
-	}
-	return r.binomialBTRS(n, p)
-}
-
-// binomialInversion samples Binomial(n, p) by sequential search of the CDF
-// starting from k = 0. Requires p <= 0.5 and np small enough that (1-p)^n
-// does not underflow (guaranteed by btrsThreshold: (1-p)^n >= e^{-2np}).
-func (r *Stream) binomialInversion(n int, p float64) int {
-	q := 1 - p
-	s := p / q
-	f := math.Pow(q, float64(n)) // P(X = 0)
-	u := r.Float64()
-	k := 0
-	for u > f && k < n {
-		u -= f
-		k++
-		f *= s * float64(n-k+1) / float64(k)
-	}
-	return k
-}
-
-// binomialBTRS samples Binomial(n, p) using Hörmann's BTRS transformed
-// rejection algorithm (W. Hörmann, "The generation of binomial random
-// variates", J. Stat. Comput. Simul. 46, 1993). Requires p <= 0.5 and
-// np >= 10. The algorithm is exact: candidates are accepted against the
-// true binomial PMF via log-gamma.
-func (r *Stream) binomialBTRS(n int, p float64) int {
-	fn := float64(n)
-	spq := math.Sqrt(fn * p * (1 - p))
-	b := 1.15 + 2.53*spq
-	a := -0.0873 + 0.0248*b + 0.01*p
-	c := fn*p + 0.5
-	vr := 0.92 - 4.2/b
-
-	alpha := (2.83 + 5.1/b) * spq
-	lpq := math.Log(p / (1 - p))
-	m := math.Floor((fn + 1) * p) // mode
-	hm, _ := math.Lgamma(m + 1)
-	hnm, _ := math.Lgamma(fn - m + 1)
-	h := hm + hnm
-
-	for {
-		v := r.Float64()
-		if v <= 0.86*vr {
-			// Squeeze acceptance: the bulk of the mass needs no PMF
-			// evaluation.
-			u := v/vr - 0.43
-			return int(math.Floor((2*a/(0.5-math.Abs(u))+b)*u + c))
-		}
-		var u float64
-		if v >= vr {
-			u = r.Float64() - 0.5
-		} else {
-			u = v/vr - 0.93
-			u = math.Copysign(0.5, u) - u
-			v = vr * r.Float64()
-		}
-		us := 0.5 - math.Abs(u)
-		k := math.Floor((2*a/us+b)*u + c)
-		if k < 0 || k > fn {
-			continue
-		}
-		v = v * alpha / (a/(us*us) + b)
-		lk, _ := math.Lgamma(k + 1)
-		lnk, _ := math.Lgamma(fn - k + 1)
-		if math.Log(v) <= h-lk-lnk+(k-m)*lpq {
-			return int(k)
-		}
-	}
+	var d BinomialDist
+	d.Init(n, p)
+	return d.Sample(r)
 }
 
 // Multinomial draws counts from Multinomial(n, probs), writing the result

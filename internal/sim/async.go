@@ -27,8 +27,8 @@ type AsyncRunner struct {
 	cfg     Config
 	env     Env
 	agents  []Agent
-	streams []*rng.Stream
-	sched   *rng.Stream
+	streams []rng.Stream
+	sched   rng.Stream
 	channel *noise.Channel
 	artif   *noise.Channel
 	backend Backend
@@ -36,6 +36,9 @@ type AsyncRunner struct {
 	displays []int
 	counts   []int
 	probs    []float64
+	sampled  []int
+	inter    []int
+	observed []int
 	correct  int // number of agents currently holding the correct opinion
 }
 
@@ -70,39 +73,66 @@ func NewAsync(cfg Config) (*AsyncRunner, error) {
 
 	env := cfg.Env()
 	r := &AsyncRunner{
-		cfg:     cfg,
-		env:     env,
-		agents:  make([]Agent, cfg.N),
-		streams: make([]*rng.Stream, cfg.N),
-		sched:   rng.Derive(cfg.Seed, ^uint64(0)),
-		channel: ch,
-		artif:   art,
-		backend: backend,
-		counts:  make([]int, env.Alphabet),
-		probs:   make([]float64, env.Alphabet),
+		cfg:      cfg,
+		env:      env,
+		streams:  make([]rng.Stream, cfg.N),
+		channel:  ch,
+		artif:    art,
+		backend:  backend,
+		displays: make([]int, cfg.N),
+		counts:   make([]int, env.Alphabet),
+		probs:    make([]float64, env.Alphabet),
+		sampled:  make([]int, env.Alphabet),
+		inter:    make([]int, env.Alphabet),
+		observed: make([]int, env.Alphabet),
 	}
+	if err := r.initPopulation(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
 
+// initPopulation (re)derives the scheduler and per-agent RNG streams and
+// (re)builds the agent population, mirroring Runner.initPopulation so a
+// Reset async runner is bit-identical to a freshly constructed one.
+func (r *AsyncRunner) initPopulation() error {
+	cfg := &r.cfg
+	r.sched.Reseed(rng.DeriveSeed(cfg.Seed, ^uint64(0)))
+	for i := range r.streams {
+		r.streams[i].Reseed(rng.DeriveSeed(cfg.Seed, uint64(i)))
+	}
+	role := func(id int) Role { return roleOf(id, cfg.Sources1, cfg.Sources0) }
+	if bp, ok := cfg.Protocol.(BulkProtocol); ok {
+		r.agents = bp.NewAgents(cfg.N, r.env, role)
+	} else {
+		if r.agents == nil {
+			r.agents = make([]Agent, cfg.N)
+		}
+		for i := range r.agents {
+			r.agents[i] = cfg.Protocol.NewAgent(i, role(i), r.env)
+		}
+	}
 	correctOp := cfg.CorrectOpinion()
 	wrong := 1 - correctOp
-	for i := 0; i < cfg.N; i++ {
-		role := roleOf(i, cfg.Sources1, cfg.Sources0)
-		r.streams[i] = rng.Derive(cfg.Seed, uint64(i))
-		r.agents[i] = cfg.Protocol.NewAgent(i, role, env)
-		if s, ok := r.agents[i].(Seeder); ok {
-			s.SeedInit(r.streams[i])
+	for i, a := range r.agents {
+		if s, ok := a.(Seeder); ok {
+			s.SeedInit(&r.streams[i])
 		}
 		if cfg.Corruption != CorruptNone {
-			if c, ok := r.agents[i].(Corruptible); ok {
-				c.Corrupt(cfg.Corruption, wrong, r.streams[i])
+			if c, ok := a.(Corruptible); ok {
+				c.Corrupt(cfg.Corruption, wrong, &r.streams[i])
 			}
 		}
 	}
 	// Initial display and opinion state.
-	r.displays = make([]int, cfg.N)
+	for j := range r.counts {
+		r.counts[j] = 0
+	}
+	r.correct = 0
 	for i, a := range r.agents {
 		s := a.Display()
-		if s < 0 || s >= env.Alphabet {
-			return nil, fmt.Errorf("sim: agent %d displays symbol %d outside alphabet %d", i, s, env.Alphabet)
+		if s < 0 || s >= r.env.Alphabet {
+			return fmt.Errorf("sim: agent %d displays symbol %d outside alphabet %d", i, s, r.env.Alphabet)
 		}
 		r.displays[i] = s
 		r.counts[s]++
@@ -110,7 +140,16 @@ func NewAsync(cfg Config) (*AsyncRunner, error) {
 			r.correct++
 		}
 	}
-	return r, nil
+	return nil
+}
+
+// Reset rewinds the runner to a freshly constructed state under the given
+// seed, reusing its allocations — the async analogue of Runner.Reset. A
+// Reset runner is bit-identical to one built with NewAsync under the same
+// configuration and seed.
+func (r *AsyncRunner) Reset(seed uint64) error {
+	r.cfg.Seed = seed
+	return r.initPopulation()
 }
 
 // Agents exposes the instantiated agents.
@@ -149,10 +188,6 @@ func (r *AsyncRunner) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	n := cfg.N
-	sampled := make([]int, r.env.Alphabet)
-	inter := make([]int, r.env.Alphabet)
-	observed := make([]int, r.env.Alphabet)
-
 	done := ctx.Done()
 	stable := 0
 	for round := 1; round <= maxRounds; round++ {
@@ -164,7 +199,7 @@ func (r *AsyncRunner) RunContext(ctx context.Context) (*Result, error) {
 			}
 		}
 		for step := 0; step < n; step++ {
-			r.activate(r.sched.Intn(n), sampled, inter, observed, correctOp)
+			r.activate(r.sched.Intn(n), correctOp)
 		}
 		res.Rounds = round
 		res.FinalCorrect = r.correct
@@ -193,9 +228,10 @@ func (r *AsyncRunner) RunContext(ctx context.Context) (*Result, error) {
 }
 
 // activate performs one asynchronous activation of agent i.
-func (r *AsyncRunner) activate(i int, sampled, inter, observed []int, correctOp int) {
-	stream := r.streams[i]
+func (r *AsyncRunner) activate(i int, correctOp int) {
+	stream := &r.streams[i]
 	h := r.cfg.H
+	observed := r.observed
 	for j := range observed {
 		observed[j] = 0
 	}
@@ -224,15 +260,15 @@ func (r *AsyncRunner) activate(i int, sampled, inter, observed []int, correctOp 
 		for j, c := range r.counts {
 			r.probs[j] = float64(c)
 		}
-		stream.Multinomial(h, r.probs, sampled)
+		stream.Multinomial(h, r.probs, r.sampled)
 		if r.artif == nil {
-			r.channel.ApplyCounts(stream, sampled, observed)
+			r.channel.ApplyCounts(stream, r.sampled, observed)
 		} else {
-			for j := range inter {
-				inter[j] = 0
+			for j := range r.inter {
+				r.inter[j] = 0
 			}
-			r.channel.ApplyCounts(stream, sampled, inter)
-			r.artif.ApplyCounts(stream, inter, observed)
+			r.channel.ApplyCounts(stream, r.sampled, r.inter)
+			r.artif.ApplyCounts(stream, r.inter, observed)
 		}
 	default:
 		panic(fmt.Sprintf("sim: unresolved backend %v", r.backend))

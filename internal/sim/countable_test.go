@@ -282,7 +282,9 @@ func TestCountsInitialClassCounts(t *testing.T) {
 		}
 	}
 
-	// Per-agent backends report no class counts.
+	// Per-agent backends report no class counts. MajorityRule on the exact
+	// backend takes the vectorized path (no Agents slice, AgentState works);
+	// under ForceScalar the per-agent population is materialized.
 	cfg := base
 	cfg.Backend = sim.BackendExact
 	r, err := sim.New(cfg)
@@ -293,8 +295,28 @@ func TestCountsInitialClassCounts(t *testing.T) {
 	if got := r.ClassCounts(); got != nil {
 		t.Errorf("exact backend ClassCounts = %v, want nil", got)
 	}
-	if r.Agents() == nil {
-		t.Error("exact backend Agents() = nil")
+	if !r.Vectorized() {
+		t.Error("exact-backend majority runner did not take the vectorized path")
+	}
+	if r.Agents() != nil {
+		t.Error("vectorized runner exposes an Agents slice")
+	}
+	if _, _, err := r.AgentState(0); err != nil {
+		t.Errorf("vectorized AgentState: %v", err)
+	}
+
+	scalar := cfg
+	scalar.ForceScalar = true
+	rs, err := sim.New(scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if rs.Vectorized() {
+		t.Error("ForceScalar runner reports Vectorized")
+	}
+	if rs.Agents() == nil {
+		t.Error("ForceScalar exact backend Agents() = nil")
 	}
 }
 

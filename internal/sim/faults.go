@@ -45,6 +45,26 @@ type driftState struct {
 	from, rounds  int
 }
 
+// vecCompatibleFaults reports whether a schedule can run on the vectorized
+// path: only noise events qualify. Noise swaps and drift repoint the
+// runner's effective rows, which the vectorized observation law is rebuilt
+// from at every round barrier, so they compose with the bulk kernels for
+// free; corruption, crash, and churn faults mutate individual agents and
+// require the per-agent scalar path.
+func vecCompatibleFaults(s *faults.Schedule) bool {
+	if s == nil {
+		return true
+	}
+	for i := range s.Events {
+		switch s.Events[i].Kind {
+		case faults.KindNoiseSwap, faults.KindNoiseDrift:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // newFaultState provisions the fault runtime for a validated schedule.
 func newFaultState(cfg *Config, backend Backend) *faultState {
 	fs := &faultState{}

@@ -34,15 +34,22 @@ func newPool(workers int) *pool {
 }
 
 // worker is the body of pool worker w: wait for a phase signal, execute that
-// phase over the worker's agent range, signal completion. The gate receive
-// happens-after the coordinator's p.r write in attach, and the wg.Done
-// happens-before the coordinator's wg.Wait return, so all state handoffs are
-// properly synchronized.
+// phase over the worker's share of the population — a contiguous agent
+// range on the scalar path, a strided set of fixed chunks on the vectorized
+// path — then signal completion. The gate receive happens-after the
+// coordinator's p.r write in attach, and the wg.Done happens-before the
+// coordinator's wg.Wait return, so all state handoffs are properly
+// synchronized.
 func (p *pool) worker(w int) {
 	for ph := range p.gates[w] {
-		if ph == phaseSnapshot {
+		switch {
+		case p.r.pop != nil && ph == phaseSnapshot:
+			p.r.vecCountRange(w)
+		case p.r.pop != nil:
+			p.r.vecStepRange(w)
+		case ph == phaseSnapshot:
 			p.r.snapshotRange(w)
-		} else {
+		default:
 			p.r.observeRange(w)
 		}
 		p.wg.Done()

@@ -40,6 +40,17 @@ type Runner struct {
 	ce      *countsEngine // non-nil iff backend == BackendCounts
 	ran     bool          // Run consumed since the last New/Reset
 
+	// Vectorized struct-of-arrays path (see vector.go). pop is non-nil iff
+	// the configuration is vec-eligible and the protocol supplied a
+	// population; agents/streams stay nil then. chunkStreams holds one
+	// persistent RNG stream per fixed-size chunk; binDist and vecObs are
+	// the per-round observation law, rebuilt at every Phase A barrier.
+	pop          VecPopulation
+	chunkStreams []rng.Stream
+	numChunks    int
+	binDist      rng.BinomialDist
+	vecObs       VecObs
+
 	// Fault-injection runtime (nil without a schedule). Noise faults swap
 	// channel/effRows mid-run; baseEff/baseChannel keep the configured
 	// channel for Reset, and curNoise tracks the communication-layer matrix
@@ -145,10 +156,29 @@ func New(cfg Config) (*Runner, error) {
 		workers = cfg.N
 	}
 
+	// Vectorized fast path: eligible configs whose protocol supplies a
+	// struct-of-arrays population skip per-agent allocation entirely.
+	var pop VecPopulation
+	if vp, ok := cfg.Protocol.(VecProtocol); ok && vecEligible(&cfg, backend, env) {
+		pop = vp.NewVecPopulation(VecSpec{
+			Env:        env,
+			Sources1:   cfg.Sources1,
+			Sources0:   cfg.Sources0,
+			Correct:    cfg.CorrectOpinion(),
+			Corruption: cfg.Corruption,
+		})
+	}
+	numChunks := 0
+	if pop != nil {
+		numChunks = numVecChunks(cfg.N)
+		if workers > numChunks {
+			workers = numChunks
+		}
+	}
+
 	r := &Runner{
 		cfg:          cfg,
 		env:          env,
-		streams:      make([]rng.Stream, cfg.N),
 		channel:      ch,
 		effRows:      make([][]float64, d),
 		backend:      backend,
@@ -159,6 +189,13 @@ func New(cfg Config) (*Runner, error) {
 		probs:        make([]float64, d),
 		mixW:         make([]float64, d),
 		scratch:      make([]workerScratch, workers),
+		pop:          pop,
+		numChunks:    numChunks,
+	}
+	if pop != nil {
+		r.chunkStreams = make([]rng.Stream, numChunks)
+	} else {
+		r.streams = make([]rng.Stream, cfg.N)
 	}
 	for sigma := 0; sigma < d; sigma++ {
 		r.effRows[sigma] = eff.Row(sigma)
@@ -217,6 +254,10 @@ func (r *Runner) initPopulation() {
 	}
 	if r.ce != nil {
 		r.ce.reset(cfg, r.env, r.correct)
+		return
+	}
+	if r.pop != nil {
+		r.initVecPopulation()
 		return
 	}
 	for i := range r.streams {
@@ -283,7 +324,9 @@ func roleOf(id, s1, s0 int) Role {
 
 // Agents exposes the instantiated agents (read-only use intended: tests and
 // diagnostics inspect protocol state through it). It is nil for the counts
-// backend, which materializes no individual agents; use ClassCounts there.
+// backend, which materializes no individual agents, and for the vectorized
+// path, which stores the population as flat slices; use ClassCounts or the
+// AgentState/AgentWeakOpinion accessors there.
 func (r *Runner) Agents() []Agent { return r.agents }
 
 // ClassCounts returns a copy of the current per-class population counts of a
@@ -296,6 +339,51 @@ func (r *Runner) ClassCounts() []int {
 	out := make([]int, len(r.ce.counts))
 	copy(out, r.ce.counts)
 	return out
+}
+
+// Vectorized reports whether the runner took the struct-of-arrays fast
+// path. It is false for the scalar per-agent path and the counts backend.
+func (r *Runner) Vectorized() bool { return r.pop != nil }
+
+// AgentState returns agent i's current display symbol and opinion. It works
+// on both per-agent engine paths (scalar and vectorized); the counts
+// backend materializes no individual agents and returns an error.
+func (r *Runner) AgentState(i int) (display, opinion int, err error) {
+	if i < 0 || i >= r.cfg.N {
+		return 0, 0, fmt.Errorf("sim: agent index %d outside [0, %d)", i, r.cfg.N)
+	}
+	if r.pop != nil {
+		display, opinion = r.pop.State(i)
+		return display, opinion, nil
+	}
+	if r.agents == nil {
+		return 0, 0, errors.New("sim: counts backend has no per-agent state")
+	}
+	a := r.agents[i]
+	return a.Display(), a.Opinion(), nil
+}
+
+// AgentWeakOpinion returns agent i's weak opinion for protocols that form
+// one (SF's Ŷ, SSF's majority-of-memory), on both per-agent engine paths.
+// ok is false when the index is out of range, the protocol exposes no weak
+// opinion, or the backend has no per-agent state.
+func (r *Runner) AgentWeakOpinion(i int) (weak int, ok bool) {
+	if i < 0 || i >= r.cfg.N {
+		return 0, false
+	}
+	if r.pop != nil {
+		if wp, isWeak := r.pop.(VecWeakOpinions); isWeak {
+			return wp.WeakOpinionAt(i), true
+		}
+		return 0, false
+	}
+	if r.agents == nil {
+		return 0, false
+	}
+	if wa, isWeak := r.agents[i].(interface{ WeakOpinion() int }); isWeak {
+		return wa.WeakOpinion(), true
+	}
+	return 0, false
 }
 
 // Env returns the environment the agents were built with.
@@ -469,6 +557,9 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 func (r *Runner) step() (int, error) {
 	if r.ce != nil {
 		return r.ce.step(r)
+	}
+	if r.pop != nil {
+		return r.stepVec()
 	}
 	// Phase A: snapshot displays, counting symbols in per-worker shards.
 	if r.pool != nil {

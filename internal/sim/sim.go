@@ -298,6 +298,12 @@ type Config struct {
 	// Workers is the number of goroutines stepping agents; 0 means
 	// GOMAXPROCS. Results do not depend on it.
 	Workers int
+	// ForceScalar disables the vectorized struct-of-arrays fast path and
+	// keeps the run on the per-agent scalar engine even when the config is
+	// vec-eligible. The two paths draw randomness differently, so their
+	// trajectories differ bit-wise (each is individually deterministic);
+	// tests and A/B comparisons use this to pick the path explicitly.
+	ForceScalar bool
 	// TrackHistory records the per-round count of agents holding the
 	// correct opinion in Result.History.
 	TrackHistory bool

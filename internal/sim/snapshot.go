@@ -40,10 +40,14 @@ const snapshotVersion = 1
 // snapshotMagic prefixes every snapshot ("noisy pull simulation snapshot").
 var snapshotMagic = [4]byte{'n', 'p', 's', 's'}
 
-// Population section markers.
+// Population section markers. A snapshot's marker must match the engine
+// path of the restoring runner: the scalar and vectorized paths consume
+// randomness differently, so restoring across them would silently change
+// the trajectory — Restore rejects the mismatch instead.
 const (
 	snapPopAgents = 1
 	snapPopCounts = 2
+	snapPopVec    = 3
 )
 
 // Snapshotter is implemented by agents that support checkpoint/resume:
@@ -256,6 +260,15 @@ func (r *Runner) Snapshot() ([]byte, error) {
 		for _, c := range r.ce.counts {
 			w.Int(c)
 		}
+	} else if r.pop != nil {
+		w.U8(snapPopVec)
+		w.Int(r.numChunks)
+		for c := range r.chunkStreams {
+			for _, s := range r.chunkStreams[c].State() {
+				w.U64(s)
+			}
+		}
+		r.pop.SnapshotRange(&w, 0, r.cfg.N)
 	} else {
 		w.U8(snapPopAgents)
 		w.Int(len(r.agents))
@@ -360,9 +373,32 @@ func (r *Runner) Restore(data []byte) error {
 		if rd.Err() == nil && total != r.cfg.N {
 			return fmt.Errorf("sim: snapshot counts sum to %d, population is %d", total, r.cfg.N)
 		}
+	case snapPopVec:
+		if r.pop == nil {
+			return errors.New("sim: vectorized snapshot, but runner is not on the vectorized path (counts backend, scalar path, or ForceScalar)")
+		}
+		k := rd.Int()
+		if k != r.numChunks {
+			return fmt.Errorf("sim: snapshot has %d chunk streams, runner has %d", k, r.numChunks)
+		}
+		for c := 0; c < k && rd.Err() == nil; c++ {
+			var st [4]uint64
+			for j := range st {
+				st[j] = rd.U64()
+			}
+			if err := r.chunkStreams[c].SetState(st); err != nil {
+				return err
+			}
+		}
+		if err := r.pop.RestoreRange(rd, 0, r.cfg.N); err != nil {
+			return err
+		}
 	case snapPopAgents:
 		if r.ce != nil {
 			return errors.New("sim: per-agent snapshot, but runner uses the counts backend")
+		}
+		if r.pop != nil {
+			return errors.New("sim: scalar per-agent snapshot, but runner is on the vectorized path; rebuild the runner with ForceScalar to restore it")
 		}
 		n := rd.Int()
 		if n != len(r.agents) {

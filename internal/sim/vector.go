@@ -1,0 +1,222 @@
+package sim
+
+// Vectorized struct-of-arrays engine path.
+//
+// For binary-alphabet protocols on the complete graph, one round of the
+// exact and aggregate backends factors through a single scalar: given the
+// display counts, each agent's h observations are i.i.d. draws from the
+// mixture q with q₁ = Σ_σ (counts[σ]/n)·eff[σ][1], so the per-agent
+// observation vector is fully described by k₁ ~ Binomial(h, q₁) (and
+// k₀ = h − k₁). The vectorized path exploits this: instead of materializing
+// one heap agent, one RNG stream, and h alias draws per agent, a protocol
+// keeps its population as flat slices (a VecPopulation) and each round runs
+// two bulk passes — count displays, then draw one cached binomial (or less,
+// see the voter kernel) per agent and update state in place.
+//
+// Determinism is chunk-based rather than agent-based: the population is cut
+// into fixed VecChunkSize-agent chunks, each owning a private RNG stream
+// derived from the run seed and the chunk index. A worker processes whole
+// chunks, all draws for a chunk come from its own stream in index order,
+// and cross-chunk merges are integer sums, so results are bit-identical for
+// any Workers/GOMAXPROCS setting — the worker→chunk assignment only decides
+// who executes a chunk, never what it draws.
+//
+// The path is taken automatically when the configuration is eligible (see
+// vecEligible); Config.ForceScalar pins the legacy per-agent path. The two
+// paths consume randomness differently, so for the same seed they produce
+// different — individually deterministic, distributionally identical —
+// trajectories.
+
+import (
+	"noisypull/internal/rng"
+)
+
+// VecChunkSize is the number of agents per deterministic sharding chunk.
+// The value fixes the draw partition and therefore the trajectory of every
+// vectorized run: changing it is a break of bit-compatibility with recorded
+// seeds (golden traces, published experiment tables). 4096 agents keep a
+// chunk's hot state well inside L1/L2 while giving n = 10⁶ runs ~244 chunks
+// of parallel slack.
+const VecChunkSize = 4096
+
+// vecStreamID is the derivation base for per-chunk streams; chunk c uses
+// DeriveSeed(seed, vecStreamID + c). The base is far outside the per-agent
+// id range [0, n) and the other engine stream salts, so chunk streams never
+// collide with scalar-path or fault streams under the same seed.
+const vecStreamID uint64 = 0x76656363_5eed0005
+
+// VecObs is the round's shared observation law, built once at the Phase A
+// barrier and read concurrently by every worker during Phase B.
+type VecObs struct {
+	// H is the per-round sample count.
+	H int
+	// Q1 is the probability that a single observation reads symbol 1 after
+	// the (composed) noise channel.
+	Q1 float64
+	// Bin is an initialized Binomial(H, Q1) sampler; Sample is read-only,
+	// so workers share it with their chunk streams.
+	Bin *rng.BinomialDist
+}
+
+// VecSpec carries everything a protocol needs to build and (re)initialize a
+// struct-of-arrays population.
+type VecSpec struct {
+	// Env is the protocol environment, as passed to Protocol.NewAgent.
+	Env Env
+	// Sources1 and Sources0 give the role layout: agents [0, Sources1) are
+	// 1-sources, [Sources1, Sources1+Sources0) are 0-sources.
+	Sources1, Sources0 int
+	// Correct is the plurality source preference; populations use it to
+	// derive the adversary's wrong opinion.
+	Correct int
+	// Corruption is the round-0 adversary applied during InitRange.
+	Corruption CorruptionMode
+}
+
+// Role returns the role of agent i under the spec's layout.
+func (s *VecSpec) Role(i int) Role { return roleOf(i, s.Sources1, s.Sources0) }
+
+// VecPopulation is a protocol population stored as flat slices, advanced by
+// bulk kernels over index ranges. Range methods are called for chunk-aligned
+// [lo, hi) slices; distinct ranges are processed concurrently, so a kernel
+// must only touch state of agents inside its range.
+type VecPopulation interface {
+	// InitRange (re)initializes agents [lo, hi): role assignment, seeded
+	// initialization, and the spec's round-0 corruption, drawing any needed
+	// randomness from r in agent-index order.
+	InitRange(lo, hi int, r *rng.Stream)
+	// CountRange accumulates the current display symbol of agents [lo, hi)
+	// into counts (length |Σ|). It must add, not overwrite.
+	CountRange(lo, hi int, counts []int)
+	// StepRange delivers one round of observations to agents [lo, hi),
+	// updating their state in place, and returns the number of agents in
+	// the range holding opinion 1 afterwards.
+	StepRange(lo, hi int, obs *VecObs, r *rng.Stream) int
+	// State returns agent i's current display symbol and opinion.
+	State(i int) (display, opinion int)
+	// SnapshotRange serializes agents [lo, hi).
+	SnapshotRange(w *SnapWriter, lo, hi int)
+	// RestoreRange deserializes agents [lo, hi), validating every field.
+	RestoreRange(rd *SnapReader, lo, hi int) error
+}
+
+// VecProtocol is implemented by protocols that provide a vectorized
+// population. NewVecPopulation may return nil when the protocol's options
+// or environment have no vectorized kernel; the engine then falls back to
+// the per-agent path.
+type VecProtocol interface {
+	Protocol
+	NewVecPopulation(spec VecSpec) VecPopulation
+}
+
+// VecWeakOpinions is optionally implemented by populations whose protocol
+// exposes a weak opinion (SF's Ŷ); Runner.AgentWeakOpinion uses it.
+type VecWeakOpinions interface {
+	WeakOpinionAt(i int) int
+}
+
+// vecEligible reports whether the configuration may take the vectorized
+// path: binary alphabet on the complete graph, a per-agent backend, and a
+// fault schedule the bulk kernels can honor (noise-only — noise swaps and
+// drift repoint the effective rows the law is rebuilt from every round;
+// crash, churn, and corruption faults mutate individual agents and stay on
+// the scalar path).
+func vecEligible(cfg *Config, backend Backend, env Env) bool {
+	if cfg.ForceScalar || cfg.Topology != nil || env.Alphabet != 2 {
+		return false
+	}
+	if backend != BackendExact && backend != BackendAggregate {
+		return false
+	}
+	return vecCompatibleFaults(cfg.Faults)
+}
+
+// numVecChunks returns the chunk count for an n-agent population.
+func numVecChunks(n int) int { return (n + VecChunkSize - 1) / VecChunkSize }
+
+// chunkBounds returns chunk c's agent range.
+func (r *Runner) chunkBounds(c int) (lo, hi int) {
+	lo = c * VecChunkSize
+	hi = lo + VecChunkSize
+	if hi > r.cfg.N {
+		hi = r.cfg.N
+	}
+	return lo, hi
+}
+
+// initVecPopulation is initPopulation for the vectorized path: reseed every
+// chunk stream from the run seed and rebuild the population state in place.
+func (r *Runner) initVecPopulation() {
+	for c := 0; c < r.numChunks; c++ {
+		r.chunkStreams[c].Reseed(rng.DeriveSeed(r.cfg.Seed, vecStreamID+uint64(c)))
+		lo, hi := r.chunkBounds(c)
+		r.pop.InitRange(lo, hi, &r.chunkStreams[c])
+	}
+}
+
+// stepVec executes one synchronous round on the vectorized path. Phase A
+// counts displays in per-worker shards; the barrier folds them and builds
+// the round's one-step observation law; Phase B steps every chunk with its
+// own stream. Like the scalar step, it allocates nothing in steady state.
+func (r *Runner) stepVec() (int, error) {
+	if r.pool != nil {
+		r.pool.dispatch(phaseSnapshot)
+	} else {
+		r.vecCountRange(0)
+	}
+	for j := range r.counts {
+		r.counts[j] = 0
+	}
+	for w := range r.scratch {
+		for j, c := range r.scratch[w].shard {
+			r.counts[j] += c
+		}
+	}
+	// One observation is a uniform display pushed through the composed
+	// channel: a draw from the counts-weighted mixture of effective rows.
+	q1 := (float64(r.counts[0])*r.effRows[0][1] + float64(r.counts[1])*r.effRows[1][1]) / float64(r.cfg.N)
+	r.binDist.Init(r.cfg.H, q1)
+	r.vecObs = VecObs{H: r.cfg.H, Q1: q1, Bin: &r.binDist}
+
+	if r.pool != nil {
+		r.pool.dispatch(phaseObserve)
+	} else {
+		r.vecStepRange(0)
+	}
+	ones := 0
+	for w := range r.scratch {
+		ones += r.scratch[w].partial
+	}
+	if r.correct == 1 {
+		return ones, nil
+	}
+	return r.cfg.N - ones, nil
+}
+
+// vecCountRange is Phase A for worker w: accumulate display counts of the
+// worker's chunks into its shard. Chunk→worker assignment is a static
+// stride; it affects only who counts a chunk, and integer sums commute, so
+// the merged counts are independent of the worker count.
+func (r *Runner) vecCountRange(w int) {
+	s := &r.scratch[w]
+	for j := range s.shard {
+		s.shard[j] = 0
+	}
+	s.err = nil
+	for c := w; c < r.numChunks; c += r.workers {
+		lo, hi := r.chunkBounds(c)
+		r.pop.CountRange(lo, hi, s.shard)
+	}
+}
+
+// vecStepRange is Phase B for worker w: step the worker's chunks, each with
+// its private stream, accumulating the opinion-1 tally.
+func (r *Runner) vecStepRange(w int) {
+	s := &r.scratch[w]
+	ones := 0
+	for c := w; c < r.numChunks; c += r.workers {
+		lo, hi := r.chunkBounds(c)
+		ones += r.pop.StepRange(lo, hi, &r.vecObs, &r.chunkStreams[c])
+	}
+	s.partial = ones
+}

@@ -1,0 +1,483 @@
+// Equivalence suite for the vectorized struct-of-arrays engine path
+// (vector.go). The vec path deliberately consumes randomness differently from
+// the legacy per-agent path — one derived stream per fixed-size chunk instead
+// of one per agent — so the two are NOT bit-identical and each is pinned by
+// its own golden file (golden_test.go). What this file proves instead:
+//
+//  1. the vec path is bit-identical to itself at any Workers / GOMAXPROCS
+//     setting (per-chunk streams + commutative integer merges);
+//  2. the vec and scalar paths agree *distributionally* — same protocols,
+//     same observation law, indistinguishable outcome statistics;
+//  3. vec snapshots resume bit-identically, including under live
+//     vec-compatible fault schedules (noise swap/drift);
+//  4. cross-path restores (vec snapshot into a scalar runner and vice versa)
+//     fail loudly instead of silently diverging;
+//  5. the eligibility predicate routes exactly the configurations the vec
+//     kernels can honor, and nothing else.
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"noisypull/internal/faults"
+	"noisypull/internal/graph"
+	"noisypull/internal/protocol"
+	"noisypull/internal/sim"
+)
+
+// vecCase is a configuration expected to take the vectorized path.
+type vecCase struct {
+	name string
+	cfg  func(t *testing.T, seed uint64) sim.Config
+}
+
+func vecCases() []vecCase {
+	return []vecCase{
+		{
+			// n > VecChunkSize so the run spans multiple chunks and worker
+			// striding is non-trivial.
+			name: "voter aggregate multichunk",
+			cfg: func(t *testing.T, seed uint64) sim.Config {
+				return sim.Config{
+					N: 10000, H: 6, Sources1: 30, Sources0: 10,
+					Noise:           uniformNoise(t, 2, 0.15),
+					Protocol:        protocol.Voter{},
+					Seed:            seed,
+					Backend:         sim.BackendAggregate,
+					MaxRounds:       40,
+					StabilityWindow: 3,
+				}
+			},
+		},
+		{
+			name: "majority exact",
+			cfg: func(t *testing.T, seed uint64) sim.Config {
+				return sim.Config{
+					N: 5000, H: 8, Sources1: 25, Sources0: 5,
+					Noise:           uniformNoise(t, 2, 0.1),
+					Protocol:        protocol.MajorityRule{},
+					Seed:            seed,
+					Backend:         sim.BackendExact,
+					MaxRounds:       60,
+					StabilityWindow: 4,
+					Corruption:      sim.CorruptWrongConsensus,
+				}
+			},
+		},
+		{
+			name: "sf aggregate",
+			cfg: func(t *testing.T, seed uint64) sim.Config {
+				return sim.Config{
+					N: 300, H: 16, Sources1: 2, Sources0: 1,
+					Noise:     uniformNoise(t, 2, 0.2),
+					Protocol:  protocol.NewSF(),
+					Seed:      seed,
+					Backend:   sim.BackendAggregate,
+					MaxRounds: 5000,
+				}
+			},
+		},
+		{
+			// Noise swap + drift are the vec-compatible fault kinds; the
+			// schedule must not knock the run off the vec path.
+			name: "voter noise faults",
+			cfg: func(t *testing.T, seed uint64) sim.Config {
+				return sim.Config{
+					N: 6000, H: 4, Sources1: 40, Sources0: 10,
+					Noise:           uniformNoise(t, 2, 0.1),
+					Protocol:        protocol.Voter{},
+					Seed:            seed,
+					Backend:         sim.BackendExact,
+					MaxRounds:       50,
+					StabilityWindow: 3,
+					Faults: &faults.Schedule{Events: []faults.Event{
+						{Kind: faults.KindNoiseSwap, Round: 6, Matrix: mustUniform(0.3)},
+						{Kind: faults.KindNoiseDrift, Round: 14, Delta: 0.12, DriftRounds: 8},
+					}},
+				}
+			},
+		},
+	}
+}
+
+// TestVecBitIdenticalAcrossParallelism: the same seed must produce the same
+// trajectory — byte-for-byte identical final engine state — at every Workers
+// and GOMAXPROCS setting. This is the determinism contract of the per-chunk
+// stream scheme: chunk c always draws from DeriveSeed(seed, vecStreamID+c)
+// regardless of which worker executes it, and cross-chunk merges are
+// commutative integer sums.
+func TestVecBitIdenticalAcrossParallelism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, tc := range vecCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var refRes *sim.Result
+			var refSnap []byte
+			for _, procs := range []int{1, 2, 8} {
+				runtime.GOMAXPROCS(procs)
+				for _, workers := range []int{1, 2, 8} {
+					cfg := tc.cfg(t, 42)
+					cfg.Workers = workers
+					r, err := sim.New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !r.Vectorized() {
+						t.Fatalf("GOMAXPROCS=%d workers=%d: expected the vectorized path", procs, workers)
+					}
+					res, err := r.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					snap, err := r.Snapshot()
+					r.Close()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if refSnap == nil {
+						refRes, refSnap = res, snap
+						continue
+					}
+					label := fmt.Sprintf("GOMAXPROCS=%d workers=%d", procs, workers)
+					sameResult(t, refRes, res, label)
+					if !bytes.Equal(refSnap, snap) {
+						t.Fatalf("%s: final engine state differs from the single-threaded reference", label)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVecMatchesScalarDistribution: the vec and scalar paths implement the
+// same stochastic process, so pooled outcome statistics over many independent
+// seeds must agree within sampling error. Voter and majority compare the mean
+// final-correct count; SF compares the correct-consensus win rate (its
+// dynamics are near-deterministic per seed, so wins carry the signal).
+func TestVecMatchesScalarDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical A/B needs many trials")
+	}
+	t.Run("voter mean final correct", func(t *testing.T) {
+		const trials = 150
+		base := func(seed uint64) sim.Config {
+			return sim.Config{
+				N: 500, H: 4, Sources1: 6, Sources0: 2,
+				Noise:           uniformNoise(t, 2, 0.15),
+				Protocol:        protocol.Voter{},
+				Seed:            seed,
+				Backend:         sim.BackendAggregate,
+				MaxRounds:       60,
+				StabilityWindow: 4,
+				Workers:         1,
+			}
+		}
+		vec := sampleFinalCorrect(t, base, false, trials, true)
+		sca := sampleFinalCorrect(t, base, true, trials, false)
+		z := welchZ(vec, sca)
+		if math.Abs(z) > 4.5 {
+			t.Fatalf("voter vec vs scalar mean final-correct diverges: z = %.2f (vec mean %.1f, scalar mean %.1f)",
+				z, mean(vec), mean(sca))
+		}
+	})
+	t.Run("sf win rate", func(t *testing.T) {
+		const trials = 80
+		base := func(seed uint64) sim.Config {
+			return sim.Config{
+				N: 150, H: 16, Sources1: 2, Sources0: 1,
+				Noise:     uniformNoise(t, 2, 0.2),
+				Protocol:  protocol.NewSF(),
+				Seed:      seed,
+				Backend:   sim.BackendAggregate,
+				MaxRounds: 5000,
+				Workers:   1,
+			}
+		}
+		vecWins, scaWins := 0, 0
+		for tr := 0; tr < trials; tr++ {
+			seed := uint64(9000 + tr)
+			cv := base(seed)
+			rv, err := sim.New(cv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resV, err := rv.Run()
+			rv.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := base(seed)
+			cs.ForceScalar = true
+			rs, err := sim.New(cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resS, err := rs.Run()
+			rs.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if 2*resV.FinalCorrect > cv.N {
+				vecWins++
+			}
+			if 2*resS.FinalCorrect > cs.N {
+				scaWins++
+			}
+		}
+		z := twoProportionZ(vecWins, scaWins, trials)
+		if math.Abs(z) > 4.5 {
+			t.Fatalf("SF vec vs scalar win rate diverges: z = %.2f (vec %d/%d, scalar %d/%d)",
+				z, vecWins, trials, scaWins, trials)
+		}
+	})
+}
+
+func sampleFinalCorrect(t *testing.T, base func(seed uint64) sim.Config, forceScalar bool, trials int, wantVec bool) []float64 {
+	t.Helper()
+	out := make([]float64, 0, trials)
+	for tr := 0; tr < trials; tr++ {
+		cfg := base(uint64(5000 + tr))
+		cfg.ForceScalar = forceScalar
+		r, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Vectorized() != wantVec {
+			t.Fatalf("Vectorized() = %v, want %v (ForceScalar=%v)", r.Vectorized(), wantVec, forceScalar)
+		}
+		res, err := r.Run()
+		r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, float64(res.FinalCorrect))
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func welchZ(a, b []float64) float64 {
+	ma, mb := mean(a), mean(b)
+	va, vb := 0.0, 0.0
+	for _, x := range a {
+		va += (x - ma) * (x - ma)
+	}
+	for _, x := range b {
+		vb += (x - mb) * (x - mb)
+	}
+	va /= float64(len(a) - 1)
+	vb /= float64(len(b) - 1)
+	se := math.Sqrt(va/float64(len(a)) + vb/float64(len(b)))
+	if se == 0 {
+		if ma == mb {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (ma - mb) / se
+}
+
+func twoProportionZ(k1, k2, n int) float64 {
+	p1, p2 := float64(k1)/float64(n), float64(k2)/float64(n)
+	pool := (float64(k1) + float64(k2)) / float64(2*n)
+	se := math.Sqrt(pool * (1 - pool) * 2 / float64(n))
+	if se == 0 {
+		return 0
+	}
+	return (p1 - p2) / se
+}
+
+// TestVecSnapshotResumeDeterminism: a vec run interrupted mid-flight — here
+// mid-drift, with a swapped noise matrix and live fault telemetry — and
+// resumed from its snapshot in a fresh runner must finish with the identical
+// result and identical final engine state. The chunk stream states and SoA
+// payload round-trip through the snapPopVec record.
+func TestVecSnapshotResumeDeterminism(t *testing.T) {
+	for _, tc := range vecCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg(t, 77)
+			cfg.Workers = 2
+			const snapRound = 16
+			control, controlFinal := runWithFinalSnap(t, cfg)
+			if control.Rounds <= snapRound {
+				t.Fatalf("control finished at round %d, before snapshot round %d", control.Rounds, snapRound)
+			}
+
+			r, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if !r.Vectorized() {
+				t.Fatal("expected the vectorized path")
+			}
+			var snap []byte
+			r.SetOnRound(func(round, correct int) {
+				if round == snapRound {
+					s, err := r.Snapshot()
+					if err != nil {
+						t.Errorf("Snapshot at round %d: %v", round, err)
+						return
+					}
+					snap = s
+				}
+			})
+			if _, err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if snap == nil {
+				t.Fatal("snapshot hook never fired")
+			}
+
+			r2, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r2.Close()
+			if err := r2.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := r2.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, control, resumed, "resumed vec result")
+			resumedFinal, err := r2.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(controlFinal, resumedFinal) {
+				t.Fatal("final engine state differs between uninterrupted and resumed vec run")
+			}
+		})
+	}
+}
+
+// TestVecCrossPathRestoreRejected: the scalar and vec paths draw randomness
+// differently, so restoring one path's snapshot into the other would silently
+// change the trajectory. Both directions must fail with an actionable error.
+func TestVecCrossPathRestoreRejected(t *testing.T) {
+	cfg := vecCases()[0].cfg(t, 5)
+
+	vecRunner, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vecRunner.Close()
+	vecSnap, err := vecRunner.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scalarCfg := cfg
+	scalarCfg.ForceScalar = true
+	scalarRunner, err := sim.New(scalarCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scalarRunner.Close()
+	scalarSnap, err := scalarRunner.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := scalarRunner.Restore(vecSnap); err == nil {
+		t.Fatal("vec snapshot restored into a scalar runner")
+	} else if !strings.Contains(err.Error(), "vectorized") {
+		t.Fatalf("vec-into-scalar error should name the path mismatch, got: %v", err)
+	}
+	scalarRunner.Reset(scalarCfg.Seed)
+
+	if err := vecRunner.Restore(scalarSnap); err == nil {
+		t.Fatal("scalar snapshot restored into a vec runner")
+	} else if !strings.Contains(err.Error(), "vectorized") {
+		t.Fatalf("scalar-into-vec error should name the path mismatch, got: %v", err)
+	}
+}
+
+// TestVecEligibility enumerates the routing predicate: everything the vec
+// kernels can honor goes vec; anything they cannot (alphabet > 2, counts
+// backend, topology, structural faults, non-vec protocols, explicit opt-out)
+// stays on the scalar path.
+func TestVecEligibility(t *testing.T) {
+	base := func() sim.Config {
+		return sim.Config{
+			N: 200, H: 4, Sources1: 3, Sources0: 1,
+			Noise:     uniformNoise(t, 2, 0.1),
+			Protocol:  protocol.Voter{},
+			Seed:      1,
+			MaxRounds: 10,
+		}
+	}
+	ring, err := graph.Ring(200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(c *sim.Config)
+		vec  bool
+	}{
+		{"voter auto(exact h<=8)", func(c *sim.Config) {}, true},
+		{"voter aggregate", func(c *sim.Config) { c.Backend = sim.BackendAggregate }, true},
+		{"majority exact", func(c *sim.Config) { c.Protocol = protocol.MajorityRule{} }, true},
+		{"sf aggregate", func(c *sim.Config) {
+			c.Protocol = protocol.NewSF()
+			c.Backend = sim.BackendAggregate
+			c.H = 16
+			c.MaxRounds = 5000
+		}, true},
+		{"noise-only faults", func(c *sim.Config) {
+			c.Faults = &faults.Schedule{Events: []faults.Event{
+				{Kind: faults.KindNoiseDrift, Round: 3, Delta: 0.1, DriftRounds: 2},
+			}}
+		}, true},
+		{"force scalar", func(c *sim.Config) { c.ForceScalar = true }, false},
+		{"counts backend", func(c *sim.Config) { c.Backend = sim.BackendCounts }, false},
+		{"topology", func(c *sim.Config) { c.Topology = ring }, false},
+		{"corrupt fault", func(c *sim.Config) {
+			c.Faults = &faults.Schedule{Events: []faults.Event{
+				{Kind: faults.KindCorrupt, Round: 3, Fraction: 0.1, Corruption: faults.CorruptRandom},
+			}}
+		}, false},
+		{"crash fault", func(c *sim.Config) {
+			c.Faults = &faults.Schedule{Events: []faults.Event{
+				{Kind: faults.KindCrash, Round: 3, Fraction: 0.1, Duration: 2},
+			}}
+		}, false},
+		{"alphabet 4 trustbit", func(c *sim.Config) {
+			c.Protocol = protocol.TrustBit{}
+			c.Noise = uniformNoise(t, 4, 0.1)
+			c.H = 40
+			c.Backend = sim.BackendAggregate
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mut(&cfg)
+			r, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if r.Vectorized() != tc.vec {
+				t.Fatalf("Vectorized() = %v, want %v", r.Vectorized(), tc.vec)
+			}
+			if _, err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
