@@ -15,12 +15,16 @@
 // checkpoint when -checkpoint-rounds or the job's checkpoint_rounds is
 // set), and serves 503 from /readyz until recovery finishes.
 //
-// See README "Running as a service" / "Surviving restarts", DESIGN.md
-// §3.6 and §3.8.
+// The daemon also scales out. `-coordinator` turns it into a fleet
+// coordinator: the same /v1/jobs API, but seed ranges are leased to
+// worker daemons started with `-join http://coord:8080`, results merged
+// order-free and bit-identical to a single-node run. See README
+// "Running a fleet" and DESIGN.md §3.10.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"noisypull/internal/buildinfo"
+	"noisypull/internal/fleet"
 	"noisypull/internal/service"
 )
 
@@ -58,6 +63,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ckRounds   = fs.Int("checkpoint-rounds", 0, "default rounds between journaled engine checkpoints for jobs that don't set checkpoint_rounds (0 = off)")
 		quiet      = fs.Bool("quiet", false, "suppress per-job log lines")
 		version    = fs.Bool("version", false, "print version and exit")
+
+		coordinator = fs.Bool("coordinator", false, "fleet: serve as coordinator, fanning job seed ranges out to joined workers")
+		join        = fs.String("join", "", "fleet: serve as worker for the coordinator at this base URL (e.g. http://coord:8080)")
+		nodeID      = fs.String("node-id", "", "fleet: stable worker identity (empty = coordinator-assigned)")
+		slots       = fs.Int("worker-slots", 0, "fleet: leases this worker runs concurrently (0 = GOMAXPROCS)")
+		leaseSeeds  = fs.Int("lease-seeds", 8, "fleet: seeds per lease handed to a worker")
+		leaseTTL    = fs.Duration("lease-ttl", 15*time.Second, "fleet: heartbeat deadline before a leased seed range is re-leased")
+		nodeTTL     = fs.Duration("node-ttl", 10*time.Second, "fleet: silence deadline before a worker is declared dead")
+		fleetPoll   = fs.Duration("fleet-poll", 500*time.Millisecond, "fleet: idle-worker poll interval advertised to workers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +80,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintln(out, buildinfo.String("simd"))
 		return nil
 	}
+	if *coordinator && *join != "" {
+		return errors.New("-coordinator and -join are mutually exclusive: a node is either the control plane or an executor")
+	}
+	mode := "single"
+	switch {
+	case *coordinator:
+		mode = "coordinator"
+	case *join != "":
+		mode = "worker"
+	}
 
 	logger := log.New(out, "", log.LstdFlags)
 	logf := func(format string, a ...any) { logger.Printf(format, a...) }
@@ -73,7 +97,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		logf = nil
 	}
 
-	d := service.NewDaemon(service.DaemonConfig{
+	dcfg := service.DaemonConfig{
 		Addr: *addr,
 		Service: service.Config{
 			QueueCapacity:    *queue,
@@ -86,6 +110,46 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		},
 		DrainTimeout: *drain,
 		Logf:         logf,
-	})
+	}
+
+	var worker *fleet.Worker
+	switch mode {
+	case "coordinator":
+		coord := fleet.NewCoordinator(fleet.Config{
+			LeaseSeeds:   *leaseSeeds,
+			LeaseTTL:     *leaseTTL,
+			NodeTTL:      *nodeTTL,
+			PollInterval: *fleetPoll,
+			Logf:         logf,
+		})
+		defer coord.Close()
+		dcfg.Service.Dispatcher = coord
+		dcfg.Service.ExtraMetrics = coord.WriteMetrics
+		dcfg.Routes = coord.Routes
+	case "worker":
+		worker = fleet.NewWorker(fleet.WorkerConfig{
+			Coordinator: *join,
+			NodeID:      *nodeID,
+			Slots:       *slots,
+			SimWorkers:  *simWorkers,
+			Logf:        logf,
+		})
+		dcfg.Service.ExtraMetrics = worker.WriteMetrics
+	}
+
+	journalDisplay := *journalDir
+	if journalDisplay == "" {
+		journalDisplay = "(in-memory)"
+	}
+	if logf != nil {
+		logf("simd starting: %s mode=%s journal-dir=%s checkpoint-rounds=%d",
+			buildinfo.String("simd"), mode, journalDisplay, *ckRounds)
+	}
+
+	d := service.NewDaemon(dcfg)
+	if worker != nil {
+		worker.Start()
+		defer worker.Close()
+	}
 	return d.Run(ctx)
 }

@@ -1,0 +1,455 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noisypull/internal/service"
+)
+
+// Config tunes a Coordinator. The zero value gets defaults from
+// NewCoordinator.
+type Config struct {
+	// LeaseSeeds is the seed-range size per lease. Smaller leases spread a
+	// job wider and lose less to a node death; larger ones amortize runner
+	// construction better. Default 8.
+	LeaseSeeds int
+	// LeaseTTL is how long a leased range may go without a heartbeat before
+	// it is re-leased. Default 15s.
+	LeaseTTL time.Duration
+	// NodeTTL is how long a node may stay silent (no poll, heartbeat, or
+	// result) before it is declared dead and its leases re-queued.
+	// Default 10s.
+	NodeTTL time.Duration
+	// PollInterval is the idle-worker poll cadence advertised at
+	// registration. Default 500ms.
+	PollInterval time.Duration
+	// HeartbeatInterval is the busy-worker heartbeat cadence advertised at
+	// registration. Default LeaseTTL/3.
+	HeartbeatInterval time.Duration
+	// MaxLeaseAttempts caps how many times one seed range may be leased
+	// before its job fails — the backstop against a lease that kills every
+	// node that touches it. Default 5.
+	MaxLeaseAttempts int
+	// Logf, if non-nil, receives fleet lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseSeeds <= 0 {
+		c.LeaseSeeds = 8
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.NodeTTL <= 0 {
+		c.NodeTTL = 10 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.LeaseTTL / 3
+	}
+	if c.MaxLeaseAttempts <= 0 {
+		c.MaxLeaseAttempts = 5
+	}
+	return c
+}
+
+// dispatch is one job in flight across the fleet: its lease set lives in
+// the coordinator's lease table, its results accumulate in the order-free
+// merge, and the scheduler goroutine blocked in Dispatch drains the
+// released in-order prefix into the service (store, stream, journal).
+type dispatch struct {
+	job   service.DispatchJob
+	merge *merge
+
+	// released holds merged results in seed order, not yet handed to the
+	// scheduler; err/done is the terminal outcome. Guarded by the
+	// coordinator mutex; notify (cap 1) wakes the Dispatch goroutine.
+	released []service.SeedResult
+	err      error
+	done     bool
+	notify   chan struct{}
+}
+
+func (d *dispatch) wake() {
+	select {
+	case d.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Coordinator is the fleet's control plane: node registry, lease table,
+// per-job merges, and the wire protocol handlers. It implements
+// service.Dispatcher, so a Service configured with it transparently fans
+// every job's seed range out across registered workers.
+type Coordinator struct {
+	cfg Config
+
+	mu         sync.Mutex
+	reg        *registry
+	lt         *leaseTable
+	dispatches map[string]*dispatch // by job id
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	// Fleet-level counters (metrics.go renders them).
+	releases   atomic.Int64 // ranges re-leased after expiry or node death
+	merged     atomic.Int64 // per-seed results merged
+	duplicates atomic.Int64 // idempotent duplicate results discarded
+	failures   atomic.Int64 // dispatches failed (worker error or attempts cap)
+	polls      atomic.Int64
+}
+
+// NewCoordinator starts a coordinator, including its lease/node expiry
+// loop. Stop it with Close.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:        cfg,
+		reg:        newRegistry(cfg.NodeTTL),
+		lt:         newLeaseTable(),
+		dispatches: make(map[string]*dispatch),
+		stopCh:     make(chan struct{}),
+	}
+	go c.expiryLoop()
+	return c
+}
+
+// Close stops the background expiry loop. In-flight Dispatch calls are not
+// interrupted — the service cancels their contexts during drain.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Dispatch implements service.Dispatcher: split the job's remaining seeds
+// into leases, queue them for polling workers, and block draining merged
+// results — in seed order — into emit until the job completes, fails, or
+// ctx is cancelled.
+func (c *Coordinator) Dispatch(ctx context.Context, job service.DispatchJob, emit func(service.SeedResult)) error {
+	if len(job.Seeds) == 0 {
+		return nil
+	}
+	if job.Fingerprint == "" {
+		job.Fingerprint = job.Spec.Fingerprint()
+	}
+	d := &dispatch{
+		job:    job,
+		merge:  newMerge(job.Seeds),
+		notify: make(chan struct{}, 1),
+	}
+	ranges := splitSeeds(job.Seeds, c.cfg.LeaseSeeds)
+	leases := make([]*lease, len(ranges))
+	c.mu.Lock()
+	for i, seeds := range ranges {
+		leases[i] = &lease{id: leaseID(job.ID, i), d: d, seeds: seeds}
+	}
+	c.dispatches[job.ID] = d
+	c.lt.add(leases)
+	c.mu.Unlock()
+	c.logf("fleet: job %s dispatched: %d seeds in %d leases", job.ID, len(job.Seeds), len(leases))
+
+	defer func() {
+		c.mu.Lock()
+		c.lt.dropJob(d)
+		delete(c.dispatches, job.ID)
+		c.mu.Unlock()
+	}()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-d.notify:
+			c.mu.Lock()
+			out := d.released
+			d.released = nil
+			done, err := d.done, d.err
+			c.mu.Unlock()
+			for _, sr := range out {
+				emit(sr)
+			}
+			if done {
+				return err
+			}
+		}
+	}
+}
+
+// fail marks a dispatch failed. Caller holds c.mu.
+func (c *Coordinator) fail(d *dispatch, err error) {
+	if d.done {
+		return
+	}
+	d.err = err
+	d.done = true
+	c.failures.Add(1)
+	c.lt.dropJob(d)
+	d.wake()
+}
+
+// expiryLoop periodically re-queues leases whose deadline passed and the
+// leases of nodes that went silent past NodeTTL.
+func (c *Coordinator) expiryLoop() {
+	interval := c.cfg.LeaseTTL / 4
+	if n := c.cfg.NodeTTL / 4; n < interval {
+		interval = n
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case now := <-ticker.C:
+			c.sweep(now)
+		}
+	}
+}
+
+// sweep is one expiry pass: dead nodes first (their leases re-queue
+// immediately, ahead of individual deadlines), then overdue leases.
+func (c *Coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.reg.sweep(now) {
+		orphans := c.lt.activeOn(n.id)
+		c.logf("fleet: node %s silent for %s, declared dead (%d leases re-queued)", n.id, c.cfg.NodeTTL, len(orphans))
+		c.requeueAll(orphans, fmt.Sprintf("node %s died", n.id))
+	}
+	c.requeueAll(c.lt.expire(now), "lease deadline expired")
+}
+
+// requeueAll re-leases a batch, failing any job whose lease ran out of
+// attempts. Caller holds c.mu.
+func (c *Coordinator) requeueAll(ls []*lease, why string) {
+	for _, l := range ls {
+		if l.d.done {
+			continue // a sibling lease already failed the job; its leases are dropped
+		}
+		if l.attempt+1 >= c.cfg.MaxLeaseAttempts {
+			c.fail(l.d, fmt.Errorf("fleet: lease %s failed %d attempts (last: %s)", l.id, l.attempt+1, why))
+			continue
+		}
+		c.releases.Add(1)
+		c.logf("fleet: re-leasing %s (attempt %d, %s)", l.id, l.attempt+1, why)
+		c.lt.requeue(l)
+	}
+}
+
+// Routes mounts the wire protocol on mux. The signature matches the
+// daemon's Routes hook, so cmd/simd passes it straight through.
+func (c *Coordinator) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
+	mux.HandleFunc("POST "+PathPoll, c.handlePoll)
+	mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc("POST "+PathResult, c.handleResult)
+}
+
+// readBody slurps a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxWireBytes))
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return data, true
+}
+
+// writeWireJSON / writeWireError mirror the service handlers' envelope (the
+// {"error": ...} body is what service.Client's apiError parses), keeping the
+// fleet endpoints indistinguishable from the rest of the API surface.
+func writeWireJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeWireError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(map[string]string{"error": err.Error()})
+}
+
+// errUnknownNode is the 404 body workers key their re-registration on.
+var errUnknownNode = errors.New("fleet: unknown node, re-register")
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeRegister(data)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.mu.Lock()
+	n := c.reg.register(req, time.Now())
+	c.mu.Unlock()
+	c.logf("fleet: node %s registered (version=%q gomaxprocs=%d slots=%d)", n.id, req.Version, req.GoMaxProcs, req.Slots)
+	writeWireJSON(w, RegisterResponse{
+		NodeID:      n.id,
+		PollMS:      c.cfg.PollInterval.Milliseconds(),
+		HeartbeatMS: c.cfg.HeartbeatInterval.Milliseconds(),
+		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodePoll(data)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.polls.Add(1)
+	now := time.Now()
+	c.mu.Lock()
+	n := c.reg.touch(req.NodeID, now)
+	if n == nil {
+		c.mu.Unlock()
+		writeWireError(w, http.StatusNotFound, errUnknownNode)
+		return
+	}
+	l := c.lt.next(req.NodeID, now.Add(c.cfg.LeaseTTL))
+	var resp PollResponse
+	if l != nil {
+		resp.Lease = &WireLease{
+			ID:          l.id,
+			Job:         l.d.job.ID,
+			Fingerprint: l.d.job.Fingerprint,
+			Spec:        l.d.job.Spec,
+			Seeds:       l.seeds,
+			Attempt:     l.attempt,
+		}
+	}
+	c.mu.Unlock()
+	writeWireJSON(w, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeHeartbeat(data)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, err)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	n := c.reg.touch(req.NodeID, now)
+	if n == nil {
+		// A heartbeat carries enough to re-describe the node, so a
+		// coordinator restart (empty registry) heals on the next beat
+		// instead of bouncing every worker through register.
+		n = c.reg.register(&RegisterRequest{
+			NodeID: req.NodeID, Version: req.Version,
+			GoMaxProcs: req.GoMaxProcs, Slots: req.Slots,
+		}, now)
+	} else if req.Version != "" {
+		n.version = req.Version
+		if req.GoMaxProcs > 0 {
+			n.gomaxprocs = req.GoMaxProcs
+		}
+		if req.Slots > 0 {
+			n.slots = req.Slots
+		}
+	}
+	cancel := c.lt.renew(req.NodeID, req.Leases, now.Add(c.cfg.LeaseTTL))
+	c.mu.Unlock()
+	writeWireJSON(w, HeartbeatResponse{Cancel: cancel})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeResult(data)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, err)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	n := c.reg.touch(req.NodeID, now)
+	if n == nil {
+		c.mu.Unlock()
+		writeWireError(w, http.StatusNotFound, errUnknownNode)
+		return
+	}
+	l := c.lt.complete(req.LeaseID)
+	if l == nil || l.d.done {
+		// Already merged via a re-lease, or the job is gone: idempotent OK.
+		c.mu.Unlock()
+		writeWireJSON(w, ResultResponse{Duplicates: len(req.Results)})
+		return
+	}
+	d := l.d
+	if req.Error != "" {
+		// Execution errors are deterministic functions of (config, seed) —
+		// re-leasing would fail identically on any node, so the job fails.
+		c.fail(d, fmt.Errorf("fleet: lease %s failed on node %s: %s", l.id, req.NodeID, req.Error))
+		c.mu.Unlock()
+		writeWireJSON(w, ResultResponse{})
+		return
+	}
+	released, dups, mergeErr := d.merge.add(req.Results)
+	if mergeErr == nil && len(req.Results)-dups != len(l.seeds) {
+		mergeErr = fmt.Errorf("fleet: lease %s delivered %d new results for %d leased seeds", l.id, len(req.Results)-dups, len(l.seeds))
+	}
+	if mergeErr != nil {
+		c.fail(d, mergeErr)
+		c.mu.Unlock()
+		writeWireJSON(w, ResultResponse{})
+		return
+	}
+	c.merged.Add(int64(len(req.Results) - dups))
+	c.duplicates.Add(int64(dups))
+	n.recordResult(len(req.Results)-dups, now)
+	d.released = append(d.released, released...)
+	if d.merge.done() {
+		d.done = true
+	}
+	if len(released) > 0 || d.done {
+		d.wake()
+	}
+	c.mu.Unlock()
+	writeWireJSON(w, ResultResponse{Merged: len(req.Results) - dups, Duplicates: dups})
+}
+
+// Nodes snapshots the registry (tests, introspection).
+func (c *Coordinator) Nodes() []NodeInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reg.snapshot()
+}

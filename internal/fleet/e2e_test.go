@@ -1,0 +1,260 @@
+package fleet
+
+// End-to-end fleet smoke test with real OS processes: build cmd/simd, start
+// one coordinator and two workers as child processes, SIGKILL one worker
+// while it holds a lease, and require the merged job to finish with per-seed
+// results bit-identical to an uninterrupted in-process engine run. Then
+// restart the killed worker under the same node id and require it to report
+// ready and re-register. CI runs this with -race (the race runtime
+// instruments the test binary and its in-process control; the children are
+// plain builds, like production).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"noisypull/internal/service"
+)
+
+type simdProc struct {
+	cmd  *exec.Cmd
+	addr string
+	out  *lockedBuffer
+	done chan error
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// buildSimd compiles cmd/simd once per test process.
+var buildSimd = sync.OnceValues(func() (string, error) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		return "", err
+	}
+	dir, err := os.MkdirTemp("", "simd-fleet-e2e-*")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "simd")
+	cmd := exec.Command(goBin, "build", "-o", bin, "noisypull/cmd/simd")
+	cmd.Dir = "../.." // package dir → module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("go build: %v\n%s", err, out)
+	}
+	return bin, nil
+})
+
+// startSimd launches one simd child on a random port and waits for its
+// "listening on" line to learn the bound address.
+func startSimd(t *testing.T, bin string, args ...string) *simdProc {
+	t.Helper()
+	p := &simdProc{out: &lockedBuffer{}, done: make(chan error, 1)}
+	p.cmd = exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-ttl", "10m"}, args...)...)
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			_, _ = p.out.Write([]byte(line + "\n"))
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j > 0 {
+					select {
+					case addrCh <- rest[:j]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	go func() { p.done <- p.cmd.Wait() }()
+	select {
+	case addr := <-addrCh:
+		p.addr = addr
+	case err := <-p.done:
+		t.Fatalf("simd exited before listening: %v\n%s", err, p.out.String())
+	case <-time.After(15 * time.Second):
+		_ = p.cmd.Process.Kill()
+		t.Fatalf("simd never reported its address\n%s", p.out.String())
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			<-p.done
+		}
+	})
+	return p
+}
+
+func (p *simdProc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill -9: %v", err)
+	}
+	<-p.done // reap; exit error from SIGKILL is expected
+}
+
+func (p *simdProc) baseURL() string { return "http://" + p.addr }
+
+func waitReady(t *testing.T, baseURL string) {
+	t.Helper()
+	c := service.NewClient(baseURL)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		ready, _, err := c.Ready(ctx)
+		cancel()
+		if err == nil && ready {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became ready", baseURL)
+}
+
+// scrapeMetrics fetches a daemon's /metrics text.
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return string(data)
+}
+
+// waitMetric polls /metrics until the given line fragment appears.
+func waitMetric(t *testing.T, baseURL, fragment string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		last = scrapeMetrics(t, baseURL)
+		if strings.Contains(last, fragment) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("metric %q never appeared at %s; last scrape:\n%s", fragment, baseURL, last)
+}
+
+func TestFleetSurvivesWorkerKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills child processes")
+	}
+	bin, err := buildSimd()
+	if err != nil {
+		t.Skipf("cannot build simd: %v", err)
+	}
+
+	coord := startSimd(t, bin, "-coordinator",
+		"-lease-seeds", "2", "-lease-ttl", "2s", "-node-ttl", "2s", "-fleet-poll", "50ms")
+	waitReady(t, coord.baseURL())
+	wa := startSimd(t, bin, "-join", coord.baseURL(), "-node-id", "we2e-a", "-worker-slots", "1")
+	wb := startSimd(t, bin, "-join", coord.baseURL(), "-node-id", "we2e-b", "-worker-slots", "1")
+	waitMetric(t, coord.baseURL(), `simd_fleet_nodes{state="alive"} 2`, 15*time.Second)
+
+	// Every seed runs its full 3000-round horizon (~hundreds of ms in the
+	// plain-build children), so killing a busy worker is guaranteed to land
+	// mid-lease.
+	spec := service.JobSpec{
+		N: 2000, H: 1, Sources1: 1, Delta: 0.2,
+		Protocol: "voter", Backend: "exact",
+		MaxRounds: 3000, StabilityWindow: 3000,
+		Seeds: []uint64{1, 2, 3, 4, 5, 6},
+	}
+	want := directResults(t, spec, spec.Seeds)
+
+	client := service.NewClient(coord.baseURL())
+	ctx := context.Background()
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit: %v\n%s", err, coord.out.String())
+	}
+
+	// SIGKILL worker A the moment its own metrics show a lease executing: no
+	// result report, no deregistration — the coordinator must re-lease A's
+	// range after the deadline and the merged job must stay bit-identical.
+	waitMetric(t, wa.baseURL(), "simd_fleet_worker_busy 1", 60*time.Second)
+	wa.kill9(t)
+
+	waitCtx, cancelWait := context.WithTimeout(ctx, 180*time.Second)
+	defer cancelWait()
+	final, err := client.Wait(waitCtx, st.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v\ncoordinator:\n%s", err, coord.out.String())
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("fleet job ended %s (%s)\ncoordinator:\n%s", final.State, final.Error, coord.out.String())
+	}
+	if !reflect.DeepEqual(final.Results, want) {
+		t.Fatalf("merged results differ from single-node control:\n got %+v\nwant %+v", final.Results, want)
+	}
+	if !strings.Contains(coord.out.String(), "re-leasing") {
+		t.Errorf("coordinator log shows no re-lease after the worker kill:\n%s", coord.out.String())
+	}
+
+	// Restart the killed worker under the same identity: it must come back
+	// ready, re-register, and the fleet must be whole again.
+	wa2 := startSimd(t, bin, "-join", coord.baseURL(), "-node-id", "we2e-a", "-worker-slots", "1")
+	waitReady(t, wa2.baseURL())
+	waitMetric(t, coord.baseURL(), `simd_fleet_nodes{state="alive"} 2`, 15*time.Second)
+	waitMetric(t, coord.baseURL(), `simd_fleet_node_info{node="we2e-a"`, 15*time.Second)
+
+	// The revived fleet still computes: a quick job across both workers.
+	small := spec
+	small.Seeds = []uint64{7, 8}
+	small.MaxRounds, small.StabilityWindow = 200, 200
+	st2, err := client.Submit(ctx, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2, err := client.Wait(waitCtx, st2.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2.State != service.StateDone {
+		t.Fatalf("post-restart job ended %s (%s)", final2.State, final2.Error)
+	}
+	if !reflect.DeepEqual(final2.Results, directResults(t, small, small.Seeds)) {
+		t.Fatal("post-restart fleet results differ from single-node control")
+	}
+
+	_ = wb // wb stays up the whole test; cleanup kills it
+}

@@ -1,0 +1,76 @@
+package fleet
+
+// FuzzFleetWireDecode hammers the fleet's decode surface: every byte
+// sequence a peer can POST to /fleet/v1/* must either fail validation
+// cleanly or produce a structurally sound message — never panic, and never
+// smuggle a node id that could break logs or /metrics label values. CI runs
+// this briefly with -fuzz as a smoke test; the seed corpus alone runs under
+// plain `go test`.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"noisypull/internal/service"
+)
+
+func FuzzFleetWireDecode(f *testing.F) {
+	spec := service.JobSpec{N: 100, H: 4, Sources1: 1, Delta: 0.2, Protocol: "sf"}
+	wl := WireLease{
+		ID: "l-j-000001-000", Job: "j-000001",
+		Fingerprint: spec.Fingerprint(), Spec: spec,
+		Seeds: []uint64{1, 2, 3},
+	}
+	leaseJSON, err := json.Marshal(wl)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		`{}`,
+		`{"node_id":"wa","version":"v1.2.3","gomaxprocs":8,"slots":4}`,
+		`{"node_id":"wa"}`,
+		`{"node_id":"wa","leases":["l-j-000001-000","l-j-000001-001"]}`,
+		`{"node_id":"wa","lease_id":"l-j-000001-000","results":[{"seed":1,"rounds":10,"converged":true}]}`,
+		`{"node_id":"wa","lease_id":"l-j-000001-000","error":"boom"}`,
+		`{"node_id":"evil\"}injection","lease_id":"l-1"}`,
+		`{"node_id":"wa","lease_id":"l-1","results":[{"seed":1},{"seed":1}]}`,
+		string(leaseJSON),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeRegister(data); err == nil && req.NodeID != "" {
+			if validNodeID(req.NodeID) != nil {
+				t.Fatalf("DecodeRegister accepted invalid node id %q", req.NodeID)
+			}
+		}
+		if req, err := DecodePoll(data); err == nil {
+			if validNodeID(req.NodeID) != nil {
+				t.Fatalf("DecodePoll accepted invalid node id %q", req.NodeID)
+			}
+		}
+		if req, err := DecodeHeartbeat(data); err == nil {
+			for _, id := range req.Leases {
+				if validLeaseID(id) != nil {
+					t.Fatalf("DecodeHeartbeat accepted invalid lease id %q", id)
+				}
+			}
+		}
+		if req, err := DecodeResult(data); err == nil {
+			if req.Error == "" && len(req.Results) == 0 {
+				t.Fatal("DecodeResult accepted a delivery with neither results nor error")
+			}
+		}
+		if wl, err := DecodeLease(data); err == nil {
+			// A lease that decodes must re-validate (Validate is what the
+			// worker gates execution on) and its spec must build.
+			if err := wl.Validate(); err != nil {
+				t.Fatalf("DecodeLease returned a lease that fails Validate: %v", err)
+			}
+			if _, err := wl.Spec.Build(); err != nil {
+				t.Fatalf("validated lease spec does not build: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// lease lifecycle (see DESIGN §3.10):
+//
+//	pending ──poll──▶ active ──result──▶ done
+//	   ▲                 │
+//	   └──deadline/node──┘  (re-lease: attempt++, back of the queue)
+//
+// A lease is pending until a worker polls it, active with a deadline while
+// leased (heartbeats renew the deadline), and done once its results merged.
+// Deadline expiry or the owning node's death re-queues it; exceeding the
+// attempt cap fails the job.
+type lease struct {
+	id       string
+	d        *dispatch
+	seeds    []uint64
+	node     string // owning node while active; "" while pending
+	deadline time.Time
+	attempt  int
+	active   bool
+}
+
+// leaseTable holds every live lease of every dispatched job: a FIFO pending
+// queue plus an id index for heartbeat renewal and result lookup. Not
+// self-locking — the coordinator serializes access under its mutex.
+type leaseTable struct {
+	pending []*lease          // FIFO; re-leases go to the back
+	byID    map[string]*lease // pending + active (done leases are removed)
+}
+
+func newLeaseTable() *leaseTable {
+	return &leaseTable{byID: make(map[string]*lease)}
+}
+
+// splitSeeds chunks a job's seed list into per-lease ranges of at most per
+// seeds, preserving order.
+func splitSeeds(seeds []uint64, per int) [][]uint64 {
+	if per <= 0 {
+		per = 1
+	}
+	var out [][]uint64
+	for len(seeds) > 0 {
+		n := per
+		if n > len(seeds) {
+			n = len(seeds)
+		}
+		out = append(out, seeds[:n])
+		seeds = seeds[n:]
+	}
+	return out
+}
+
+// add enqueues a dispatch's leases.
+func (t *leaseTable) add(ls []*lease) {
+	for _, l := range ls {
+		t.pending = append(t.pending, l)
+		t.byID[l.id] = l
+	}
+}
+
+// next pops the oldest pending lease and marks it active on the node with
+// the given deadline. Nil when no work is pending.
+func (t *leaseTable) next(nodeID string, deadline time.Time) *lease {
+	if len(t.pending) == 0 {
+		return nil
+	}
+	l := t.pending[0]
+	t.pending[0] = nil
+	t.pending = t.pending[1:]
+	l.node = nodeID
+	l.deadline = deadline
+	l.active = true
+	return l
+}
+
+// renew extends the deadlines of the listed leases where the reporting node
+// still owns them, and returns the ids the node should abort: leases it
+// claims to run that were re-leased elsewhere, finished, or cancelled.
+func (t *leaseTable) renew(nodeID string, ids []string, deadline time.Time) (cancel []string) {
+	for _, id := range ids {
+		l := t.byID[id]
+		if l == nil || !l.active || l.node != nodeID {
+			cancel = append(cancel, id)
+			continue
+		}
+		l.deadline = deadline
+	}
+	return cancel
+}
+
+// complete removes a finished lease from the table. It returns the lease if
+// it was live (pending or active, whoever owns it now — deliveries from
+// demoted owners still carry valid deterministic results) and nil if the
+// lease is unknown (already completed, or its job is gone).
+func (t *leaseTable) complete(id string) *lease {
+	l := t.byID[id]
+	if l == nil {
+		return nil
+	}
+	delete(t.byID, id)
+	if !l.active {
+		t.unqueue(l)
+	}
+	l.active = false
+	return l
+}
+
+// requeue puts an expired or orphaned active lease back on the pending
+// queue, bumping its attempt count.
+func (t *leaseTable) requeue(l *lease) {
+	l.attempt++
+	l.node = ""
+	l.active = false
+	l.deadline = time.Time{}
+	t.pending = append(t.pending, l)
+}
+
+// expire collects active leases whose deadline has passed, removing them
+// from active state (the caller decides between requeue and job failure).
+func (t *leaseTable) expire(now time.Time) []*lease {
+	var out []*lease
+	for _, l := range t.byID {
+		if l.active && now.After(l.deadline) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// activeOn collects the active leases owned by one node (re-queued when the
+// node dies).
+func (t *leaseTable) activeOn(nodeID string) []*lease {
+	var out []*lease
+	for _, l := range t.byID {
+		if l.active && l.node == nodeID {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// dropJob removes every lease of a dispatch (job finished, failed, or
+// cancelled). Workers still executing them learn via heartbeat cancel
+// lists; late result deliveries find no lease and are ignored.
+func (t *leaseTable) dropJob(d *dispatch) {
+	for id, l := range t.byID {
+		if l.d != d {
+			continue
+		}
+		delete(t.byID, id)
+		if !l.active {
+			t.unqueue(l)
+		}
+	}
+}
+
+// unqueue removes a pending lease from the FIFO slice.
+func (t *leaseTable) unqueue(target *lease) {
+	for i, l := range t.pending {
+		if l == target {
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// counts reports (pending, active) lease totals for metrics.
+func (t *leaseTable) counts() (pending, active int) {
+	pending = len(t.pending)
+	active = len(t.byID) - pending
+	return pending, active
+}
+
+// leaseID builds the id of job jobID's i-th lease on a given attempt
+// generation. Re-leases keep their id (the range identity is stable), so
+// this is only called at dispatch time.
+func leaseID(jobID string, i int) string {
+	return fmt.Sprintf("l-%s-%03d", jobID, i)
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"fmt"
+
+	"noisypull/internal/service"
+)
+
+// merge is the order-free, idempotent result accumulator for one dispatched
+// job. Leases finish in whatever order nodes deliver them — including twice,
+// when a slow node's range was re-leased and both copies eventually report —
+// and merge restores the invariant the rest of the system is built on:
+// results are released strictly in spec seed order, each seed exactly once.
+//
+// That contiguous-prefix release rule is what lets the fleet path reuse the
+// single-node journal format unchanged: the journal only ever records a
+// prefix of the seed list, so coordinator crash recovery (replay, then
+// re-dispatch the incomplete suffix) works identically to single-node
+// recovery. Merged-but-unreleased results beyond a gap are lost to a crash
+// and simply recomputed — determinism makes that free of observable effect.
+//
+// Duplicate results are discarded without comparison: per-seed results are
+// deterministic functions of (config, seed), so a duplicate is bit-identical
+// by construction (and the e2e kill test proves it end to end). A result for
+// a seed outside the job is an error — it means a buggy or hostile peer.
+type merge struct {
+	order    []uint64       // spec seed order
+	index    map[uint64]int // seed → position in order
+	got      []*service.SeedResult
+	next     int // first position not yet released
+	received int // distinct seeds merged so far
+}
+
+func newMerge(seeds []uint64) *merge {
+	m := &merge{
+		order: seeds,
+		index: make(map[uint64]int, len(seeds)),
+		got:   make([]*service.SeedResult, len(seeds)),
+	}
+	for i, s := range seeds {
+		m.index[s] = i
+	}
+	return m
+}
+
+// add folds a batch of per-seed results in, returning the newly releasable
+// in-order run (possibly empty) and the number of duplicates ignored.
+func (m *merge) add(results []service.SeedResult) (released []service.SeedResult, dups int, err error) {
+	for i := range results {
+		r := &results[i]
+		pos, ok := m.index[r.Seed]
+		if !ok {
+			return released, dups, fmt.Errorf("fleet: result for seed %d, which is not part of the job", r.Seed)
+		}
+		if m.got[pos] != nil {
+			dups++
+			continue
+		}
+		m.got[pos] = r
+		m.received++
+	}
+	for m.next < len(m.got) && m.got[m.next] != nil {
+		released = append(released, *m.got[m.next])
+		m.next++
+	}
+	return released, dups, nil
+}
+
+// done reports whether every seed has been released.
+func (m *merge) done() bool { return m.next == len(m.order) }
+
+// pending returns the seeds not yet merged (diagnostics).
+func (m *merge) pending() []uint64 {
+	var out []uint64
+	for i, s := range m.order {
+		if m.got[i] == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics emits the coordinator's fleet-level rollup in Prometheus
+// text format. Its signature matches service.Config.ExtraMetrics, so
+// cmd/simd appends it to the daemon's /metrics in coordinator mode. The
+// per-node rows carry version and GOMAXPROCS so a mixed-version fleet is
+// diagnosable from one scrape.
+func (c *Coordinator) WriteMetrics(w io.Writer) error {
+	c.mu.Lock()
+	nodes := c.reg.snapshot()
+	pending, active := c.lt.counts()
+	jobs := len(c.dispatches)
+	c.mu.Unlock()
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	alive, dead := 0, 0
+	for _, n := range nodes {
+		if n.Alive {
+			alive++
+		} else {
+			dead++
+		}
+	}
+	p("# HELP simd_fleet_nodes Registered worker nodes by liveness.\n")
+	p("# TYPE simd_fleet_nodes gauge\n")
+	p("simd_fleet_nodes{state=\"alive\"} %d\n", alive)
+	p("simd_fleet_nodes{state=\"dead\"} %d\n", dead)
+	p("# HELP simd_fleet_node_info Per-node build/runtime identity (value is always 1).\n")
+	p("# TYPE simd_fleet_node_info gauge\n")
+	for _, n := range nodes {
+		p("simd_fleet_node_info{node=%q,version=%q,gomaxprocs=\"%d\",slots=\"%d\"} 1\n",
+			n.ID, n.Version, n.GoMaxProcs, n.Slots)
+	}
+	p("# HELP simd_fleet_node_seeds_total Seeds completed per node.\n")
+	p("# TYPE simd_fleet_node_seeds_total counter\n")
+	for _, n := range nodes {
+		p("simd_fleet_node_seeds_total{node=%q} %d\n", n.ID, n.SeedsDone)
+	}
+	p("# HELP simd_fleet_node_seeds_per_sec Smoothed per-node seed throughput.\n")
+	p("# TYPE simd_fleet_node_seeds_per_sec gauge\n")
+	for _, n := range nodes {
+		p("simd_fleet_node_seeds_per_sec{node=%q} %g\n", n.ID, n.SeedsPerSec)
+	}
+	p("# HELP simd_fleet_node_leases_total Leases completed per node.\n")
+	p("# TYPE simd_fleet_node_leases_total counter\n")
+	for _, n := range nodes {
+		p("simd_fleet_node_leases_total{node=%q} %d\n", n.ID, n.LeasesDone)
+	}
+	p("# HELP simd_fleet_leases Live leases by state.\n")
+	p("# TYPE simd_fleet_leases gauge\n")
+	p("simd_fleet_leases{state=\"pending\"} %d\n", pending)
+	p("simd_fleet_leases{state=\"active\"} %d\n", active)
+	p("# HELP simd_fleet_jobs_active Jobs currently dispatched across the fleet.\n")
+	p("# TYPE simd_fleet_jobs_active gauge\n")
+	p("simd_fleet_jobs_active %d\n", jobs)
+	p("# HELP simd_fleet_releases_total Seed ranges re-leased after a deadline expiry or node death.\n")
+	p("# TYPE simd_fleet_releases_total counter\n")
+	p("simd_fleet_releases_total %d\n", c.releases.Load())
+	p("# HELP simd_fleet_results_merged_total Per-seed results merged into jobs.\n")
+	p("# TYPE simd_fleet_results_merged_total counter\n")
+	p("simd_fleet_results_merged_total %d\n", c.merged.Load())
+	p("# HELP simd_fleet_results_duplicate_total Idempotent duplicate seed results discarded by the merge.\n")
+	p("# TYPE simd_fleet_results_duplicate_total counter\n")
+	p("simd_fleet_results_duplicate_total %d\n", c.duplicates.Load())
+	p("# HELP simd_fleet_dispatch_failures_total Dispatched jobs failed (worker error or lease attempt cap).\n")
+	p("# TYPE simd_fleet_dispatch_failures_total counter\n")
+	p("simd_fleet_dispatch_failures_total %d\n", c.failures.Load())
+	p("# HELP simd_fleet_polls_total Work polls served.\n")
+	p("# TYPE simd_fleet_polls_total counter\n")
+	p("simd_fleet_polls_total %d\n", c.polls.Load())
+	return err
+}
+
+// WriteMetrics emits the worker-side rollup (mounted on a worker daemon's
+// /metrics via the same ExtraMetrics hook).
+func (w *Worker) WriteMetrics(out io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(out, format, args...)
+		}
+	}
+	up := 0
+	if w.up.Load() {
+		up = 1
+	}
+	p("# HELP simd_fleet_worker_up Whether the last coordinator RPC succeeded.\n")
+	p("# TYPE simd_fleet_worker_up gauge\n")
+	p("simd_fleet_worker_up %d\n", up)
+	p("# HELP simd_fleet_worker_busy Leases currently executing on this node.\n")
+	p("# TYPE simd_fleet_worker_busy gauge\n")
+	p("simd_fleet_worker_busy %d\n", w.busy.Load())
+	p("# HELP simd_fleet_worker_leases_total Leases completed by this node.\n")
+	p("# TYPE simd_fleet_worker_leases_total counter\n")
+	p("simd_fleet_worker_leases_total %d\n", w.leasesDone.Load())
+	p("# HELP simd_fleet_worker_seeds_total Seeds completed by this node.\n")
+	p("# TYPE simd_fleet_worker_seeds_total counter\n")
+	p("simd_fleet_worker_seeds_total %d\n", w.seedsDone.Load())
+	p("# HELP simd_fleet_worker_lease_errors_total Leases that failed on this node (reported to the coordinator).\n")
+	p("# TYPE simd_fleet_worker_lease_errors_total counter\n")
+	p("simd_fleet_worker_lease_errors_total %d\n", w.leaseErrs.Load())
+	return err
+}

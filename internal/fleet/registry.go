@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// node is the coordinator's mutable record of one worker. All fields are
+// guarded by the coordinator mutex.
+type node struct {
+	id         string
+	version    string
+	gomaxprocs int
+	slots      int
+
+	registered time.Time
+	lastSeen   time.Time
+	alive      bool
+
+	seedsDone  int64
+	leasesDone int64
+	lastResult time.Time
+	rate       float64 // EWMA seeds/sec, updated per result delivery
+}
+
+// NodeInfo is a read-only snapshot of one registered node, exposed for
+// metrics and tests.
+type NodeInfo struct {
+	ID         string
+	Version    string
+	GoMaxProcs int
+	Slots      int
+	Alive      bool
+	LastSeen   time.Time
+	SeedsDone  int64
+	LeasesDone int64
+	SeedsPerSec float64
+}
+
+// registry tracks worker nodes and their liveness. A node that has not been
+// heard from (poll, heartbeat, or result) for ttl is marked dead and its
+// leases re-queued; a dead node that speaks again revives. Methods are not
+// self-locking — the coordinator serializes access under its mutex.
+type registry struct {
+	ttl   time.Duration
+	nodes map[string]*node
+	seq   int
+}
+
+func newRegistry(ttl time.Duration) *registry {
+	return &registry{ttl: ttl, nodes: make(map[string]*node)}
+}
+
+// register upserts a node. An empty id gets a coordinator-assigned one.
+func (r *registry) register(req *RegisterRequest, now time.Time) *node {
+	id := req.NodeID
+	if id == "" {
+		r.seq++
+		id = fmt.Sprintf("n-%03d", r.seq)
+	}
+	n, ok := r.nodes[id]
+	if !ok {
+		n = &node{id: id, registered: now}
+		r.nodes[id] = n
+	}
+	n.version = req.Version
+	n.gomaxprocs = req.GoMaxProcs
+	n.slots = req.Slots
+	n.lastSeen = now
+	n.alive = true
+	return n
+}
+
+// touch records liveness contact from a node, reviving it if it was marked
+// dead. Returns nil for unknown nodes (the caller answers "re-register").
+func (r *registry) touch(id string, now time.Time) *node {
+	n := r.nodes[id]
+	if n == nil {
+		return nil
+	}
+	n.lastSeen = now
+	n.alive = true
+	return n
+}
+
+// recordResult updates a node's throughput accounting after a lease
+// delivered nseeds results.
+func (n *node) recordResult(nseeds int, now time.Time) {
+	n.seedsDone += int64(nseeds)
+	n.leasesDone++
+	if !n.lastResult.IsZero() {
+		if dt := now.Sub(n.lastResult).Seconds(); dt > 0 {
+			inst := float64(nseeds) / dt
+			if n.rate == 0 {
+				n.rate = inst
+			} else {
+				n.rate = 0.7*n.rate + 0.3*inst
+			}
+		}
+	}
+	n.lastResult = now
+}
+
+// sweep marks nodes silent for longer than ttl as dead, returning the ones
+// that died this pass (their leases must be re-queued).
+func (r *registry) sweep(now time.Time) []*node {
+	var died []*node
+	for _, n := range r.nodes {
+		if n.alive && now.Sub(n.lastSeen) > r.ttl {
+			n.alive = false
+			died = append(died, n)
+		}
+	}
+	return died
+}
+
+// snapshot returns all nodes as NodeInfo, sorted by id.
+func (r *registry) snapshot() []NodeInfo {
+	out := make([]NodeInfo, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, NodeInfo{
+			ID:          n.id,
+			Version:     n.version,
+			GoMaxProcs:  n.gomaxprocs,
+			Slots:       n.slots,
+			Alive:       n.alive,
+			LastSeen:    n.lastSeen,
+			SeedsDone:   n.seedsDone,
+			LeasesDone:  n.leasesDone,
+			SeedsPerSec: n.rate,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

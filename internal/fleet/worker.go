@@ -1,0 +1,389 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noisypull"
+	"noisypull/internal/buildinfo"
+	"noisypull/internal/service"
+)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator daemon's base URL,
+	// e.g. "http://coord:8080".
+	Coordinator string
+	// NodeID is the node's stable identity; empty lets the coordinator
+	// assign one on first registration.
+	NodeID string
+	// Slots is how many leases run concurrently. Default GOMAXPROCS.
+	Slots int
+	// SimWorkers is the engine worker count per lease trial. Default 1, so
+	// a fully loaded node's CPU use is governed by Slots alone.
+	SimWorkers int
+	// PollInterval / HeartbeatInterval override the cadence the coordinator
+	// advertises at registration. 0 = use the advertised values.
+	PollInterval      time.Duration
+	HeartbeatInterval time.Duration
+	// Client overrides the RPC client (tests). Nil builds one from
+	// Coordinator; the service client's retry/backoff applies to every
+	// fleet RPC, which are all idempotent by construction.
+	Client *service.Client
+	// Logf, if non-nil, receives worker lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// Worker is the execution side of the fleet: it registers with the
+// coordinator, polls for leases when it has a free slot, executes each
+// lease's seed range on a local runner (reused across the range's seeds —
+// the RunBatch amortization), heartbeats while busy, and posts results
+// back. It never receives population data; every lease is regenerated
+// locally from (spec, seeds).
+type Worker struct {
+	cfg    WorkerConfig
+	client *service.Client
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	id      string
+	running map[string]context.CancelFunc // lease id → abort
+	pollIv  time.Duration
+	hbIv    time.Duration
+
+	// Counters for the worker-side /metrics rollup.
+	leasesDone atomic.Int64
+	seedsDone  atomic.Int64
+	leaseErrs  atomic.Int64
+	busy       atomic.Int64
+	up         atomic.Bool // last RPC to the coordinator succeeded
+}
+
+// NewWorker builds a worker (not yet running).
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Slots <= 0 {
+		cfg.Slots = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SimWorkers <= 0 {
+		cfg.SimWorkers = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = service.NewClient(cfg.Coordinator)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Worker{
+		cfg:     cfg,
+		client:  client,
+		ctx:     ctx,
+		cancel:  cancel,
+		running: make(map[string]context.CancelFunc),
+		id:      cfg.NodeID,
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// NodeID returns the node's identity (coordinator-assigned ids are known
+// only after the first successful registration; empty before that).
+func (w *Worker) NodeID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// Start launches the worker's loops: register (retrying until the
+// coordinator is reachable), then poll and heartbeat. It returns
+// immediately; Close stops everything.
+func (w *Worker) Start() {
+	w.wg.Add(1)
+	go w.run()
+}
+
+// Close stops the worker abruptly: running leases are abandoned without a
+// result report (the coordinator re-leases them after the deadline), loops
+// stop, goroutines are reaped. A graceful fleet removal is just Close —
+// determinism makes abandoned work recomputable anywhere.
+func (w *Worker) Close() {
+	w.cancel()
+	w.wg.Wait()
+}
+
+func (w *Worker) run() {
+	defer w.wg.Done()
+	if !w.register() {
+		return // ctx cancelled before the coordinator ever answered
+	}
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	w.pollLoop()
+}
+
+// register announces the node, retrying until it succeeds or the worker is
+// closed. It records the assigned id and the advertised cadence.
+func (w *Worker) register() bool {
+	req := RegisterRequest{
+		NodeID:     w.cfg.NodeID,
+		Version:    buildinfo.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Slots:      w.cfg.Slots,
+	}
+	for {
+		var resp RegisterResponse
+		err := w.client.PostIdempotent(w.ctx, PathRegister, req, &resp)
+		if err == nil {
+			w.up.Store(true)
+			w.mu.Lock()
+			w.id = resp.NodeID
+			w.pollIv = w.cfg.PollInterval
+			if w.pollIv <= 0 {
+				w.pollIv = time.Duration(resp.PollMS) * time.Millisecond
+			}
+			if w.pollIv <= 0 {
+				w.pollIv = 500 * time.Millisecond
+			}
+			w.hbIv = w.cfg.HeartbeatInterval
+			if w.hbIv <= 0 {
+				w.hbIv = time.Duration(resp.HeartbeatMS) * time.Millisecond
+			}
+			if w.hbIv <= 0 {
+				w.hbIv = 5 * time.Second
+			}
+			w.mu.Unlock()
+			w.logf("fleet: registered as %s with %s (slots=%d poll=%s heartbeat=%s)",
+				resp.NodeID, w.cfg.Coordinator, w.cfg.Slots, w.pollIv, w.hbIv)
+			return true
+		}
+		w.up.Store(false)
+		if w.ctx.Err() != nil {
+			return false
+		}
+		w.logf("fleet: registration with %s failed, retrying: %v", w.cfg.Coordinator, err)
+		if !sleepCtx(w.ctx, time.Second) {
+			return false
+		}
+	}
+}
+
+// pollLoop asks for work whenever a slot is free. slots is a semaphore;
+// lease execution returns its token when the lease (and its result report)
+// finishes.
+func (w *Worker) pollLoop() {
+	slots := make(chan struct{}, w.cfg.Slots)
+	for i := 0; i < w.cfg.Slots; i++ {
+		slots <- struct{}{}
+	}
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-slots:
+		}
+		lease, ok := w.poll()
+		if !ok || lease == nil {
+			slots <- struct{}{}
+			if !sleepCtx(w.ctx, w.interval(&w.pollIv)) {
+				return
+			}
+			continue
+		}
+		w.wg.Add(1)
+		go func(wl *WireLease) {
+			defer w.wg.Done()
+			defer func() { slots <- struct{}{} }()
+			w.runLease(wl)
+		}(lease)
+	}
+}
+
+// poll issues one poll RPC, re-registering when the coordinator forgot this
+// node (its restart, or our first contact racing a registry wipe).
+func (w *Worker) poll() (*WireLease, bool) {
+	var resp PollResponse
+	err := w.client.PostIdempotent(w.ctx, PathPoll, PollRequest{NodeID: w.NodeID()}, &resp)
+	if err != nil {
+		w.up.Store(false)
+		if errors.Is(err, service.ErrNotFound) {
+			return nil, w.register()
+		}
+		return nil, w.ctx.Err() == nil
+	}
+	w.up.Store(true)
+	if resp.Lease == nil {
+		return nil, true
+	}
+	if err := resp.Lease.Validate(); err != nil {
+		// A lease that fails local validation is reported back as an error
+		// rather than silently dropped: the coordinator fails the job loudly
+		// (fingerprint mismatches mean config drift someone must see).
+		w.leaseErrs.Add(1)
+		w.report(&ResultRequest{NodeID: w.NodeID(), LeaseID: resp.Lease.ID, Error: err.Error()})
+		return nil, true
+	}
+	return resp.Lease, true
+}
+
+// heartbeatLoop keeps the node and its running leases alive and learns
+// which leases to abort (re-leased elsewhere or their job cancelled).
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	for {
+		if !sleepCtx(w.ctx, w.interval(&w.hbIv)) {
+			return
+		}
+		w.mu.Lock()
+		leases := make([]string, 0, len(w.running))
+		for id := range w.running {
+			leases = append(leases, id)
+		}
+		w.mu.Unlock()
+		req := HeartbeatRequest{
+			NodeID:     w.NodeID(),
+			Version:    buildinfo.Version(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Slots:      w.cfg.Slots,
+			Leases:     leases,
+		}
+		var resp HeartbeatResponse
+		if err := w.client.PostIdempotent(w.ctx, PathHeartbeat, req, &resp); err != nil {
+			w.up.Store(false)
+			continue
+		}
+		w.up.Store(true)
+		if len(resp.Cancel) > 0 {
+			w.mu.Lock()
+			for _, id := range resp.Cancel {
+				if cancel, ok := w.running[id]; ok {
+					w.logf("fleet: aborting lease %s (coordinator cancelled it)", id)
+					cancel()
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+func (w *Worker) interval(field *time.Duration) time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if *field > 0 {
+		return *field
+	}
+	return 500 * time.Millisecond
+}
+
+// runLease executes one lease's seed range on a single runner (built once,
+// Reset per seed — deterministic, so results are bit-identical to any other
+// node's run of the same range) and reports the outcome. An abandoned lease
+// (worker closed, or the coordinator cancelled it) reports nothing; the
+// coordinator's deadline machinery owns that case.
+func (w *Worker) runLease(wl *WireLease) {
+	w.busy.Add(1)
+	defer w.busy.Add(-1)
+
+	ctx, cancel := context.WithCancel(w.ctx)
+	w.mu.Lock()
+	w.running[wl.ID] = cancel
+	w.mu.Unlock()
+	defer func() {
+		cancel()
+		w.mu.Lock()
+		delete(w.running, wl.ID)
+		w.mu.Unlock()
+	}()
+
+	results, err := w.execute(ctx, wl)
+	if ctx.Err() != nil {
+		w.logf("fleet: lease %s abandoned mid-run", wl.ID)
+		return
+	}
+	if err != nil {
+		w.leaseErrs.Add(1)
+		w.report(&ResultRequest{NodeID: w.NodeID(), LeaseID: wl.ID, Error: err.Error()})
+		return
+	}
+	w.leasesDone.Add(1)
+	w.seedsDone.Add(int64(len(results)))
+	w.report(&ResultRequest{NodeID: w.NodeID(), LeaseID: wl.ID, Results: results})
+}
+
+// execute runs every seed of the lease. Engine/protocol panics are
+// recovered into the lease's error — a poisonous spec fails its job on the
+// coordinator instead of killing fleet nodes one by one.
+func (w *Worker) execute(ctx context.Context, wl *WireLease) (results []service.SeedResult, err error) {
+	var runner *noisypull.Runner
+	defer func() {
+		if runner != nil {
+			runner.Close()
+		}
+		if p := recover(); p != nil {
+			results, err = nil, fmt.Errorf("panic in protocol/engine: %v", p)
+		}
+	}()
+
+	cfg, err := wl.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = w.cfg.SimWorkers
+
+	for i, seed := range wl.Seeds {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if runner == nil {
+			cfg.Seed = seed
+			if runner, err = noisypull.NewRunner(cfg); err != nil {
+				return nil, err
+			}
+		} else {
+			runner.Reset(seed)
+		}
+		res, err := runner.RunContext(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d (%d/%d of lease %s): %w", seed, i+1, len(wl.Seeds), wl.ID, err)
+		}
+		results = append(results, service.MakeSeedResult(seed, res))
+	}
+	return results, nil
+}
+
+// report posts a lease outcome. The RPC retries transient failures; if the
+// coordinator stays unreachable the delivery is dropped and the lease
+// deadline re-leases the range elsewhere — idempotent merge makes the
+// eventual duplicate harmless.
+func (w *Worker) report(req *ResultRequest) {
+	var resp ResultResponse
+	if err := w.client.PostIdempotent(w.ctx, PathResult, req, &resp); err != nil {
+		w.up.Store(false)
+		if w.ctx.Err() == nil {
+			w.logf("fleet: result delivery for lease %s failed (range will re-lease): %v", req.LeaseID, err)
+		}
+		return
+	}
+	w.up.Store(true)
+}
+
+// sleepCtx sleeps d or until ctx is done, reporting whether it slept fully.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}

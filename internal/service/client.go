@@ -101,12 +101,34 @@ func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
 	return time.Duration(rand.Int64N(int64(d)) + 1)
 }
 
+// Do issues one JSON API request against BaseURL+path with the client's
+// retry/backoff policy: HTTP 429 is retried for every method, transient
+// network errors only for GET/DELETE (a failed POST may have been applied).
+// Exported for subsystems that extend the daemon's API surface — the fleet
+// wire protocol rides on it.
+func (c *Client) Do(ctx context.Context, method, path string, in, out any) error {
+	return c.do(ctx, method, path, in, out)
+}
+
+// PostIdempotent issues a JSON POST whose transient network errors are
+// retried like a GET's — for requests that are idempotent by construction.
+// Every fleet RPC qualifies: registration and heartbeats are upserts, polls
+// lease at-most-once server-side, and result merges deduplicate by seed, so
+// duplicate delivery after a lost response is harmless.
+func (c *Client) PostIdempotent(ctx context.Context, path string, in, out any) error {
+	return c.doRetry(ctx, http.MethodPost, path, in, out, true)
+}
+
 // do issues one API request with retries. HTTP 429 (queue backpressure) is
 // retried for every method — the request was read and rejected, so
 // resubmitting is safe. Transient network errors are retried only for
 // idempotent methods (GET, DELETE): a failed POST may have been applied.
 // Backoff sleeps honor ctx.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doRetry(ctx, method, path, in, out, method == http.MethodGet || method == http.MethodDelete)
+}
+
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, idempotent bool) error {
 	var data []byte
 	if in != nil {
 		var err error
@@ -114,7 +136,6 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return err
 		}
 	}
-	idempotent := method == http.MethodGet || method == http.MethodDelete
 	for attempt := 0; ; attempt++ {
 		err, retryable, retryAfter := c.attempt(ctx, method, path, data, out)
 		if err == nil || !retryable || attempt >= c.maxRetries() {

@@ -22,6 +22,10 @@ type DaemonConfig struct {
 	// Logf, if non-nil, receives daemon lifecycle lines (and is passed down
 	// to the service when Service.Logf is unset).
 	Logf func(format string, args ...any)
+	// Routes, if non-nil, is called with the daemon's mux before serving so
+	// embedders can mount additional endpoints (cmd/simd mounts the fleet
+	// coordinator's wire protocol here in -coordinator mode).
+	Routes func(mux *http.ServeMux)
 }
 
 // Daemon binds a Service to an HTTP listener and owns the shutdown
@@ -75,8 +79,12 @@ func (d *Daemon) Start() error {
 	}
 	d.ln = ln
 	d.svc = svc
+	mux := d.svc.Handler()
+	if d.cfg.Routes != nil {
+		d.cfg.Routes(mux)
+	}
 	d.srv = &http.Server{
-		Handler:           d.svc.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {

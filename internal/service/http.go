@@ -27,7 +27,11 @@ const maxSpecBytes = 1 << 20
 //
 // Queue-full submissions get 429 with a Retry-After hint; submissions during
 // drain or journal replay get 503; spec validation failures get 400.
-func (s *Service) Handler() http.Handler {
+//
+// The concrete *ServeMux return lets embedders (the daemon's Routes hook)
+// mount additional endpoints — the fleet coordinator's /fleet/v1/* live on
+// the same mux.
+func (s *Service) Handler() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)

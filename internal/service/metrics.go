@@ -97,5 +97,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	p("# HELP simd_journal_errors_total Journal write failures (durability degraded).\n")
 	p("# TYPE simd_journal_errors_total counter\n")
 	p("simd_journal_errors_total %d\n", m.journalErrors.Load())
+	if err == nil && s.cfg.ExtraMetrics != nil {
+		err = s.cfg.ExtraMetrics(w)
+	}
 	return err
 }

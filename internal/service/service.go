@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,8 +66,39 @@ type Config struct {
 	// checkpoint_rounds unset. 0 disables default checkpointing; it only
 	// takes effect with JournalDir set.
 	CheckpointRounds int
+	// Dispatcher, when non-nil, replaces local seed execution: scheduler
+	// workers hand each job's remaining seeds to it instead of running them
+	// on a leased runner. The fleet coordinator implements it to fan seeds
+	// out across worker nodes; everything around the dispatch — queueing,
+	// backpressure, the job state machine, journaling, recovery, streams,
+	// and the watchdog — is shared with the local path.
+	Dispatcher Dispatcher
+	// ExtraMetrics, if non-nil, is appended to the /metrics output after the
+	// service's own counters (fleet rollups in coordinator/worker mode).
+	ExtraMetrics func(w io.Writer) error
 	// Logf, if non-nil, receives one line per job state transition.
 	Logf func(format string, args ...any)
+}
+
+// DispatchJob describes the remaining work of one job handed to a
+// Dispatcher: the spec, its shape fingerprint (the lease identity), and the
+// seeds that still need results, in spec order.
+type DispatchJob struct {
+	ID          string
+	Spec        JobSpec
+	Fingerprint string
+	Seeds       []uint64
+}
+
+// Dispatcher executes a job's seeds somewhere other than the scheduler
+// worker's local runner. Dispatch must call emit exactly once per seed, in
+// the order of job.Seeds (an order-free merge upstream is expected to
+// restore that order), and return nil only after every seed was emitted.
+// Honoring ctx promptly is the cancellation/watchdog contract; returning
+// ctx.Err() after cancellation finalizes the job as cancelled (or
+// watchdog-failed), any other error as failed.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, job DispatchJob, emit func(SeedResult)) error
 }
 
 func (c *Config) withDefaults() Config {
@@ -411,41 +443,16 @@ func (s *Service) runJob(j *job, l *lease) {
 		defer timer.Stop()
 	}
 
-	for _, seed := range j.spec.Seeds[start:] {
-		if j.ctx.Err() != nil {
-			break
-		}
-		res, err := s.runSeed(j, l, seed)
-		if err != nil {
-			if j.ctx.Err() != nil {
-				break // cancelled (watchdog or drain deadline); finalize below
-			}
-			s.finalize(j, StateFailed, err.Error())
-			s.logf("job %s failed: %v", j.id, err)
-			return
-		}
-		sr := SeedResult{
-			Seed:            seed,
-			Rounds:          res.Rounds,
-			Converged:       res.Converged,
-			FirstAllCorrect: res.FirstAllCorrect,
-			CorrectOpinion:  res.CorrectOpinion,
-			FinalCorrect:    res.FinalCorrect,
-		}
-		for _, rec := range res.Faults {
-			sr.Faults = append(sr.Faults, FaultOutcome{
-				Round:       rec.Round,
-				Kind:        rec.Kind.String(),
-				Index:       rec.Index,
-				Affected:    rec.Affected,
-				RecoveredAt: rec.RecoveredAt,
-			})
-		}
-		j.mu.Lock()
-		j.results = append(j.results, sr)
-		j.mu.Unlock()
-		seq := j.publish(Event{Type: "seed", Seed: seed, Result: &sr})
-		s.journal.appendSeed(j.id, seed, &sr, seq)
+	var runErr error
+	if s.cfg.Dispatcher != nil {
+		runErr = s.runDispatched(j, start)
+	} else {
+		runErr = s.runLocal(j, l, start)
+	}
+	if runErr != nil && j.ctx.Err() == nil {
+		s.finalize(j, StateFailed, runErr.Error())
+		s.logf("job %s failed: %v", j.id, runErr)
+		return
 	}
 
 	if j.ctx.Err() != nil {
@@ -460,6 +467,84 @@ func (s *Service) runJob(j *job, l *lease) {
 	}
 	s.finalize(j, StateDone, "")
 	s.logf("job %s done", j.id)
+}
+
+// runLocal is the single-node execution path: the job's remaining seeds run
+// in order on the scheduler worker's leased runner. A seed error is returned
+// (the job fails); cancellation surfaces as a nil return with j.ctx done.
+func (s *Service) runLocal(j *job, l *lease, start int) error {
+	for _, seed := range j.spec.Seeds[start:] {
+		if j.ctx.Err() != nil {
+			return nil
+		}
+		res, err := s.runSeed(j, l, seed)
+		if err != nil {
+			if j.ctx.Err() != nil {
+				return nil // cancelled (watchdog or drain deadline); caller finalizes
+			}
+			return err
+		}
+		s.commitSeed(j, MakeSeedResult(seed, res))
+	}
+	return nil
+}
+
+// runDispatched hands the job's remaining seeds to the configured Dispatcher
+// (the fleet coordinator). Results come back through emit in seed order —
+// the dispatcher's merge restores order from whatever nodes delivered — and
+// land in the same result store, stream, and journal the local path uses, so
+// crash recovery and resumable streams work identically: a recovered job
+// re-dispatches only its incomplete suffix.
+func (s *Service) runDispatched(j *job, start int) error {
+	dj := DispatchJob{
+		ID:          j.id,
+		Spec:        j.spec,
+		Fingerprint: j.spec.Fingerprint(),
+		Seeds:       j.spec.Seeds[start:],
+	}
+	err := s.cfg.Dispatcher.Dispatch(j.ctx, dj, func(sr SeedResult) {
+		s.metrics.rounds.Add(int64(sr.Rounds))
+		s.metrics.faults.Add(int64(len(sr.Faults)))
+		s.commitSeed(j, sr)
+	})
+	if err != nil && j.ctx.Err() != nil {
+		return nil // cancellation/watchdog; caller finalizes from j.ctx
+	}
+	return err
+}
+
+// commitSeed records one finished trial: result store, progress stream,
+// journal. Both execution paths converge here, which is what keeps fleet
+// runs bit-identical to local ones all the way into the journal.
+func (s *Service) commitSeed(j *job, sr SeedResult) {
+	j.mu.Lock()
+	j.results = append(j.results, sr)
+	j.mu.Unlock()
+	seq := j.publish(Event{Type: "seed", Seed: sr.Seed, Result: &sr})
+	s.journal.appendSeed(j.id, sr.Seed, &sr, seq)
+}
+
+// MakeSeedResult converts an engine result into the wire form. Exported for
+// the fleet worker, which executes leases outside the scheduler.
+func MakeSeedResult(seed uint64, res *noisypull.Result) SeedResult {
+	sr := SeedResult{
+		Seed:            seed,
+		Rounds:          res.Rounds,
+		Converged:       res.Converged,
+		FirstAllCorrect: res.FirstAllCorrect,
+		CorrectOpinion:  res.CorrectOpinion,
+		FinalCorrect:    res.FinalCorrect,
+	}
+	for _, rec := range res.Faults {
+		sr.Faults = append(sr.Faults, FaultOutcome{
+			Round:       rec.Round,
+			Kind:        rec.Kind.String(),
+			Index:       rec.Index,
+			Affected:    rec.Affected,
+			RecoveredAt: rec.RecoveredAt,
+		})
+	}
+	return sr
 }
 
 // runSeed executes one trial on the worker's leased runner. Panics from

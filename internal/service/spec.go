@@ -1,6 +1,8 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"noisypull"
@@ -108,6 +110,18 @@ func (s *JobSpec) shape() shapeKey {
 	return k
 }
 
+// Fingerprint is the spec's config identity on the fleet wire: a short hex
+// digest of the same shape key the scheduler leases runners by, so two specs
+// share a fingerprint exactly when their engine configurations differ only
+// in the seed. The coordinator keys leases by it and workers recompute it
+// from the shipped spec — a mismatch (wire corruption, or a mixed-version
+// fleet whose spec semantics drifted) rejects the lease instead of silently
+// merging results from a different configuration.
+func (s *JobSpec) Fingerprint() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", s.shape())))
+	return hex.EncodeToString(sum[:8])
+}
+
 // faultFingerprint canonicalizes a fault schedule into a comparable string:
 // equal fingerprints mean the built noisypull.FaultSchedule values are equal
 // field-for-field, so a leased runner's compiled timeline depends only on
@@ -118,6 +132,11 @@ func faultFingerprint(fs []FaultSpec) string {
 	}
 	return fmt.Sprintf("%+v", fs)
 }
+
+// Build compiles the spec into a validated engine configuration (Seed
+// unset; the caller fills it per trial). Exported for the fleet worker,
+// which executes leases outside the scheduler.
+func (s *JobSpec) Build() (noisypull.Config, error) { return s.build() }
 
 // build translates the spec into a validated noisypull.Config (Seed unset;
 // the scheduler fills it per trial).
