@@ -58,6 +58,12 @@ func Suite() []Case {
 		{"ScaleMajority1MAggregate", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendAggregate, noisypull.MajorityBaseline)},
 		{"ScaleMajority1MCounts", fixedRoundsCase(1_000_000, 8, 8, noisypull.BackendCounts, noisypull.MajorityBaseline)},
 		{"ScaleMajority100MCounts", ScaleMajority100MCounts},
+		{"ScaleGraphRegular1M", graphRoundsCase(false)},
+		{"ScaleGraphRegular1MScalar", graphRoundsCase(true)},
+		{"ScaleKOpinion1M", kOpinionRoundsCase(false)},
+		{"ScaleKOpinion1MScalar", kOpinionRoundsCase(true)},
+		{"ScaleFaultedVec1M", faultedRoundsCase(false)},
+		{"ScaleFaultedVec1MScalar", faultedRoundsCase(true)},
 		{"RunBatch", RunBatch},
 		{"RunBatchSequentialBaseline", RunBatchSequentialBaseline},
 		{"TopologyExact", TopologyExact},

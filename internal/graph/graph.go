@@ -39,6 +39,25 @@ func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 // not modify it.
 func (g *Graph) Neighbors(v int) []int32 { return g.nbrs[g.off[v]:g.off[v+1]] }
 
+// CSR returns the graph's raw compressed-sparse-row arrays without copying:
+// off has n+1 entries and vertex v's neighbors are nbrs[off[v]:off[v+1]].
+// Bulk kernels that sweep whole vertex ranges use it to iterate adjacency
+// lists with one shared bounds computation instead of a Neighbors call (and
+// its implied slice-header construction) per vertex. Callers must not
+// modify either slice.
+func (g *Graph) CSR() (off, nbrs []int32) { return g.off, g.nbrs }
+
+// MaxDegree returns the largest vertex degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 // MinDegree returns the smallest vertex degree.
 func (g *Graph) MinDegree() int {
 	if g.n == 0 {

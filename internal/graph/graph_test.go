@@ -160,3 +160,32 @@ func TestIsConnectedDetectsSplit(t *testing.T) {
 		t.Fatal("disjoint triangles reported connected")
 	}
 }
+
+func TestCSRMatchesNeighbors(t *testing.T) {
+	g, err := RandomRegular(60, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, nbrs := g.CSR()
+	if len(off) != g.N()+1 {
+		t.Fatalf("CSR off length %d, want %d", len(off), g.N()+1)
+	}
+	if int(off[g.N()]) != len(nbrs) {
+		t.Fatalf("CSR off[n] = %d, nbrs length %d", off[g.N()], len(nbrs))
+	}
+	for v := 0; v < g.N(); v++ {
+		row := nbrs[off[v]:off[v+1]]
+		want := g.Neighbors(v)
+		if len(row) != len(want) {
+			t.Fatalf("vertex %d: CSR row length %d, Neighbors %d", v, len(row), len(want))
+		}
+		for j := range row {
+			if row[j] != want[j] {
+				t.Fatalf("vertex %d neighbor %d: CSR %d, Neighbors %d", v, j, row[j], want[j])
+			}
+		}
+	}
+	if g.MaxDegree() != 4 || g.MinDegree() != 4 {
+		t.Fatalf("regular graph degrees: max %d min %d, want 4", g.MaxDegree(), g.MinDegree())
+	}
+}

@@ -9,10 +9,22 @@ package protocol
 //   - Voter: adopting the symbol of one uniformly chosen observation among
 //     h i.i.d. draws from the mixture q is marginally one Bernoulli(q₁)
 //     draw, so the kernel spends a single uniform per non-source and never
-//     materializes counts at all.
+//     materializes counts at all (obs.P1 supplies q₁, per-agent on graphs).
 //   - MajorityRule and SF consume the full count vector (k₁, h−k₁), so
-//     they draw k₁ from the shared cached Binomial(h, q₁) sampler — one
-//     draw per agent, with the sampler's setup paid once per round.
+//     they draw k₁ through obs.K1 — the shared cached Binomial(h, q₁)
+//     sampler on the complete graph, the agent's neighborhood law on a
+//     graph — one draw per agent, with setup paid once per round (or
+//     memoized per neighborhood tally).
+//
+// The k-ary (alphabet-4) kernels for TrustBit and SSF live in
+// vector_kary.go and consume full count vectors through obs.Counts.
+//
+// Every kernel honors the engine's crash mask: a crashed agent
+// (obs.Crashed) draws nothing, keeps its state, and still tallies its
+// current opinion — the scalar path's semantics. The populations also
+// implement sim.VecFaultPopulation (CorruptAt mirroring the scalar Corrupt,
+// ReinitAt producing a fresh non-source), so mid-run corruption and churn
+// schedules stay on the vectorized path.
 //
 // The kernels draw from the chunk stream in agent-index order; their
 // trajectories are deterministic in (seed, chunk layout) and independent of
@@ -69,7 +81,6 @@ func (p *voterPop) CountRange(lo, hi int, counts []int) {
 }
 
 func (p *voterPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int {
-	q1 := obs.Q1
 	ones := 0
 	s1, s0 := p.spec.Sources1, p.spec.Sources0
 	for i := lo; i < hi; i++ {
@@ -80,9 +91,13 @@ func (p *voterPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int {
 		if i < s1+s0 {
 			continue
 		}
+		if obs.Crashed(i) {
+			ones += int(p.opinion[i])
+			continue
+		}
 		// Adopting a uniformly chosen observation among h i.i.d. draws from
 		// the round mixture is marginally a single Bernoulli(q₁).
-		if r.Float64() < q1 {
+		if r.Float64() < obs.P1(i) {
 			p.opinion[i] = 1
 			ones++
 		} else {
@@ -90,6 +105,30 @@ func (p *voterPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int {
 		}
 	}
 	return ones
+}
+
+func (p *voterPop) DisplayRange(lo, hi int, out []uint8) {
+	copy(out[lo:hi], p.opinion[lo:hi])
+}
+
+// CorruptAt implements sim.VecFaultPopulation, mirroring voterAgent.Corrupt
+// (sources are immune).
+func (p *voterPop) CorruptAt(i int, mode sim.CorruptionMode, wrong int, r *rng.Stream) {
+	if i < p.spec.Sources1+p.spec.Sources0 {
+		return
+	}
+	switch mode {
+	case sim.CorruptWrongConsensus:
+		p.opinion[i] = uint8(wrong)
+	case sim.CorruptRandom:
+		p.opinion[i] = uint8(r.Coin())
+	}
+}
+
+// ReinitAt implements sim.VecFaultPopulation: a freshly arrived non-source
+// voter holds opinion 0, like a new scalar agent before any corruption.
+func (p *voterPop) ReinitAt(i int, r *rng.Stream) {
+	p.opinion[i] = 0
 }
 
 func (p *voterPop) State(i int) (display, opinion int) {
@@ -168,7 +207,11 @@ func (p *majorityPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int 
 		if i < s1+s0 {
 			continue
 		}
-		k1 := obs.Bin.Sample(r)
+		if obs.Crashed(i) {
+			ones += int(p.opinion[i])
+			continue
+		}
+		k1 := obs.K1(i, r)
 		var o uint8
 		switch {
 		case 2*k1 > h:
@@ -182,6 +225,30 @@ func (p *majorityPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int 
 		ones += int(o)
 	}
 	return ones
+}
+
+func (p *majorityPop) DisplayRange(lo, hi int, out []uint8) {
+	copy(out[lo:hi], p.opinion[lo:hi])
+}
+
+// CorruptAt implements sim.VecFaultPopulation, mirroring
+// majorityAgent.Corrupt (sources are immune).
+func (p *majorityPop) CorruptAt(i int, mode sim.CorruptionMode, wrong int, r *rng.Stream) {
+	if i < p.spec.Sources1+p.spec.Sources0 {
+		return
+	}
+	switch mode {
+	case sim.CorruptWrongConsensus:
+		p.opinion[i] = uint8(wrong)
+	case sim.CorruptRandom:
+		p.opinion[i] = uint8(r.Coin())
+	}
+}
+
+// ReinitAt implements sim.VecFaultPopulation: a fresh non-source carries the
+// balanced parity initialization of the scalar agent.
+func (p *majorityPop) ReinitAt(i int, r *rng.Stream) {
+	p.opinion[i] = uint8(i % 2)
 }
 
 func (p *majorityPop) State(i int) (display, opinion int) {
@@ -277,15 +344,17 @@ func (p *sfPop) InitRange(lo, hi int, r *rng.Stream) {
 		if p.alt {
 			p.firstSym[i] = uint8(r.Coin())
 		}
-		p.corrupt(i, wrong, r)
+		p.corrupt(i, p.spec.Corruption, wrong, r)
 	}
 }
 
-// corrupt applies the spec's round-0 adversary to agent i, mirroring
+// corrupt applies the given adversary mode to agent i, mirroring
 // sfAgent.Corrupt (which, like the scalar version, also hits sources — SF
-// is not self-stabilizing and the experiments rely on that).
-func (p *sfPop) corrupt(i, wrong int, r *rng.Stream) {
-	switch p.spec.Corruption {
+// is not self-stabilizing and the experiments rely on that). It serves both
+// the spec's round-0 corruption (InitRange) and mid-run fault events
+// (CorruptAt).
+func (p *sfPop) corrupt(i int, mode sim.CorruptionMode, wrong int, r *rng.Stream) {
+	switch mode {
 	case sim.CorruptWrongConsensus:
 		p.opinion[i] = uint8(wrong)
 		p.weak[i] = uint8(wrong)
@@ -341,7 +410,13 @@ func (p *sfPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int {
 	h := obs.H
 	ones := 0
 	for i := lo; i < hi; i++ {
-		k1 := obs.Bin.Sample(r)
+		if obs.Crashed(i) {
+			// Crashed: no observations, and — like the scalar agent, whose
+			// Observe is skipped — the schedule clock does not advance.
+			ones += int(p.opinion[i])
+			continue
+		}
+		k1 := obs.K1(i, r)
 		rd := int(p.round[i])
 		switch {
 		case rd < 2*p.phaseT && p.alt:
@@ -378,6 +453,29 @@ func (p *sfPop) StepRange(lo, hi int, obs *sim.VecObs, r *rng.Stream) int {
 		ones += int(p.opinion[i])
 	}
 	return ones
+}
+
+func (p *sfPop) DisplayRange(lo, hi int, out []uint8) {
+	for i := lo; i < hi; i++ {
+		out[i] = uint8(p.display(i))
+	}
+}
+
+// CorruptAt implements sim.VecFaultPopulation.
+func (p *sfPop) CorruptAt(i int, mode sim.CorruptionMode, wrong int, r *rng.Stream) {
+	p.corrupt(i, mode, wrong, r)
+}
+
+// ReinitAt implements sim.VecFaultPopulation: a freshly arrived non-source
+// starts the schedule from round 0 with cleared counters; the alternating
+// variant redraws its first listening symbol (the scalar SeedInit).
+func (p *sfPop) ReinitAt(i int, r *rng.Stream) {
+	p.round[i], p.counter1[i], p.counter0[i] = 0, 0, 0
+	p.weak[i], p.opinion[i], p.subPhase[i] = 0, 0, 0
+	p.boostOnes[i], p.boostAll[i] = 0, 0
+	if p.alt {
+		p.firstSym[i] = uint8(r.Coin())
+	}
 }
 
 func (p *sfPop) State(i int) (display, opinion int) {

@@ -45,21 +45,24 @@ type driftState struct {
 	from, rounds  int
 }
 
-// vecCompatibleFaults reports whether a schedule can run on the vectorized
-// path: only noise events qualify. Noise swaps and drift repoint the
-// runner's effective rows, which the vectorized observation law is rebuilt
-// from at every round barrier, so they compose with the bulk kernels for
-// free; corruption, crash, and churn faults mutate individual agents and
-// require the per-agent scalar path.
-func vecCompatibleFaults(s *faults.Schedule) bool {
+// vecCompatibleFaults reports whether a fault schedule can run against the
+// given vectorized population. Noise swaps and drift repoint the runner's
+// effective rows (which the observation law is rebuilt from every round),
+// and crash events are masked lanes over the fault engine's shared
+// crashUntil/frozen bookkeeping — every population supports those.
+// Corruption and churn rewrite individual agent state, which needs the
+// population's cooperation: they require VecFaultPopulation, and a schedule
+// containing them sends a population without it to the scalar path.
+func vecCompatibleFaults(s *faults.Schedule, pop VecPopulation) bool {
 	if s == nil {
 		return true
 	}
 	for i := range s.Events {
 		switch s.Events[i].Kind {
-		case faults.KindNoiseSwap, faults.KindNoiseDrift:
-		default:
-			return false
+		case faults.KindCorrupt, faults.KindChurn:
+			if _, ok := pop.(VecFaultPopulation); !ok {
+				return false
+			}
 		}
 	}
 	return true
@@ -218,6 +221,7 @@ func (r *Runner) setNoise(m *noise.Matrix, shared bool) error {
 	for sigma := range r.effRows {
 		r.effRows[sigma] = eff.Row(sigma)
 	}
+	r.noiseEpoch++
 	return nil
 }
 
@@ -228,6 +232,7 @@ func (r *Runner) restoreNoise() {
 	for sigma := range r.effRows {
 		r.effRows[sigma] = r.baseEff.Row(sigma)
 	}
+	r.noiseEpoch++
 }
 
 // currentDelta reads the uniform noise level of the communication matrix in
@@ -255,10 +260,25 @@ func clampDelta(d float64, alphabet int) float64 {
 // corruptAgents applies a mid-run corruption event on the per-agent
 // backends: each agent is selected independently with the event's fraction
 // (drawn from the fault stream, so selection is deterministic in the seed)
-// and corrupted through its own stream, exactly as round-0 corruption is.
+// and corrupted, exactly as round-0 corruption is. The scalar path corrupts
+// through the agent's own stream; the vectorized path draws the corruption
+// randomness from the fault stream too — both run single-threaded here, so
+// either choice is deterministic and worker-independent, and the adversary
+// state written is identically distributed.
 func (r *Runner) corruptAgents(ev faults.Event) int {
 	wrong := 1 - r.correct
 	hit := 0
+	if r.pop != nil {
+		fp := r.pop.(VecFaultPopulation)
+		for i := 0; i < r.cfg.N; i++ {
+			if !r.fs.stream.Bernoulli(ev.Fraction) {
+				continue
+			}
+			fp.CorruptAt(i, ev.Corruption, wrong, &r.fs.stream)
+			hit++
+		}
+		return hit
+	}
 	for i, a := range r.agents {
 		if !r.fs.stream.Bernoulli(ev.Fraction) {
 			continue
@@ -278,12 +298,12 @@ func (r *Runner) crashAgents(round int, ev faults.Event) int {
 	fs := r.fs
 	hit := 0
 	until := round + ev.Duration
-	for i := range r.agents {
+	for i := 0; i < r.cfg.N; i++ {
 		if !fs.stream.Bernoulli(ev.Fraction) {
 			continue
 		}
 		if fs.crashUntil[i] <= round {
-			fs.frozen[i] = r.agents[i].Display()
+			fs.frozen[i] = r.displayAt(i)
 		}
 		if until > fs.crashUntil[i] {
 			fs.crashUntil[i] = until
@@ -302,6 +322,23 @@ func (r *Runner) churnAgents(ev faults.Event) int {
 	cfg := &r.cfg
 	wrong := 1 - r.correct
 	hit := 0
+	if r.pop != nil {
+		fp := r.pop.(VecFaultPopulation)
+		for i := cfg.Sources1 + cfg.Sources0; i < cfg.N; i++ {
+			if !fs.stream.Bernoulli(ev.Fraction) {
+				continue
+			}
+			fp.ReinitAt(i, &fs.stream)
+			if ev.Corruption != CorruptNone {
+				fp.CorruptAt(i, ev.Corruption, wrong, &fs.stream)
+			}
+			if fs.crashUntil != nil {
+				fs.crashUntil[i] = 0
+			}
+			hit++
+		}
+		return hit
+	}
 	for i := cfg.Sources1 + cfg.Sources0; i < cfg.N; i++ {
 		if !fs.stream.Bernoulli(ev.Fraction) {
 			continue

@@ -24,6 +24,7 @@ import (
 	"testing"
 
 	"noisypull/internal/faults"
+	"noisypull/internal/graph"
 	"noisypull/internal/noise"
 	"noisypull/internal/protocol"
 	"noisypull/internal/sim"
@@ -133,7 +134,7 @@ func goldenCases(t *testing.T) []goldenCase {
 	sfc.Corruption = sim.CorruptWrongConsensus
 	cases = append(cases, goldenCase{name: "sf-exact-corrupt-wrong", cfg: sfc, vec: true})
 
-	// d=4 cascade: stays on the scalar path in both suites.
+	// d=4 cascade: vectorized since the k-ary multinomial kernels landed.
 	tb := sim.Config{
 		N:            150,
 		H:            4,
@@ -147,7 +148,7 @@ func goldenCases(t *testing.T) []goldenCase {
 		TrackHistory: true,
 		Workers:      1,
 	}
-	cases = append(cases, goldenCase{name: "trustbit-exact", cfg: tb, vec: false})
+	cases = append(cases, goldenCase{name: "trustbit-exact", cfg: tb, vec: true})
 
 	ssf := sim.Config{
 		N:            120,
@@ -162,7 +163,43 @@ func goldenCases(t *testing.T) []goldenCase {
 		TrackHistory: true,
 		Workers:      1,
 	}
-	cases = append(cases, goldenCase{name: "ssf-exact", cfg: ssf, vec: false})
+	cases = append(cases, goldenCase{name: "ssf-exact", cfg: ssf, vec: true})
+
+	// Graph topology: per-neighborhood observation laws on both paths.
+	ring, err := graph.Ring(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg := base(protocol.Voter{}, sim.BackendExact, 1001)
+	vg.Topology = ring
+	cases = append(cases, goldenCase{name: "voter-ring-exact", cfg: vg, vec: true})
+
+	tg := sim.Config{
+		N:            200,
+		H:            4,
+		Sources1:     6,
+		Sources0:     2,
+		Noise:        goldenNoise(t, 4, 0.1),
+		Protocol:     protocol.TrustBit{},
+		Topology:     ring,
+		Seed:         1102,
+		Backend:      sim.BackendExact,
+		MaxRounds:    40,
+		TrackHistory: true,
+		Workers:      1,
+	}
+	cases = append(cases, goldenCase{name: "trustbit-ring-exact", cfg: tg, vec: true})
+
+	// Structural faults (corrupt + crash + churn) on both paths.
+	structSched := &faults.Schedule{Events: []faults.Event{
+		{Kind: faults.KindCorrupt, Round: 6, Fraction: 0.25, Corruption: faults.CorruptRandom},
+		{Kind: faults.KindCrash, Round: 10, Fraction: 0.3, Duration: 8},
+		{Kind: faults.KindChurn, Round: 13, Fraction: 0.2, Corruption: faults.CorruptWrongConsensus},
+	}}
+	vsf := base(protocol.Voter{}, sim.BackendExact, 1203)
+	vsf.Faults = structSched
+	vsf.StabilityWindow = 8
+	cases = append(cases, goldenCase{name: "voter-exact-structfaults", cfg: vsf, vec: true})
 	return cases
 }
 

@@ -23,9 +23,12 @@ type Runner struct {
 	streams []rng.Stream
 	channel *noise.Channel // effective channel: Noise composed with Artificial
 	effRows [][]float64    // effective matrix rows, for mixture building
-	backend Backend
-	workers int
-	correct int // the correct opinion (plurality source preference)
+	// noiseEpoch counts effRows repoints (noise faults, Reset); the
+	// vectorized neighborhood-law memos key their validity on it.
+	noiseEpoch uint64
+	backend    Backend
+	workers    int
+	correct    int // the correct opinion (plurality source preference)
 
 	// Per-round shared state, written only at barriers.
 	needDisplays bool      // topology runs need the display vector
@@ -49,6 +52,9 @@ type Runner struct {
 	chunkStreams []rng.Stream
 	numChunks    int
 	binDist      rng.BinomialDist
+	multDist     rng.MultinomialDist // complete graph, alphabet > 2
+	vecQ         []float64           // per-symbol observation law scratch
+	vecNbr       *vecNbrObs          // graph topology: per-neighborhood laws
 	vecObs       VecObs
 
 	// Fault-injection runtime (nil without a schedule). Noise faults swap
@@ -159,7 +165,7 @@ func New(cfg Config) (*Runner, error) {
 	// Vectorized fast path: eligible configs whose protocol supplies a
 	// struct-of-arrays population skip per-agent allocation entirely.
 	var pop VecPopulation
-	if vp, ok := cfg.Protocol.(VecProtocol); ok && vecEligible(&cfg, backend, env) {
+	if vp, ok := cfg.Protocol.(VecProtocol); ok && vecEligible(&cfg, backend) {
 		pop = vp.NewVecPopulation(VecSpec{
 			Env:        env,
 			Sources1:   cfg.Sources1,
@@ -167,6 +173,11 @@ func New(cfg Config) (*Runner, error) {
 			Correct:    cfg.CorrectOpinion(),
 			Corruption: cfg.Corruption,
 		})
+	}
+	if pop != nil && !vecCompatibleFaults(cfg.Faults, pop) {
+		// The schedule rewrites individual agent state and this population
+		// offers no VecFaultPopulation hooks: fall back to the scalar path.
+		pop = nil
 	}
 	numChunks := 0
 	if pop != nil {
@@ -184,7 +195,7 @@ func New(cfg Config) (*Runner, error) {
 		backend:      backend,
 		workers:      workers,
 		correct:      cfg.CorrectOpinion(),
-		needDisplays: cfg.Topology != nil,
+		needDisplays: cfg.Topology != nil && pop == nil,
 		counts:       make([]int, d),
 		probs:        make([]float64, d),
 		mixW:         make([]float64, d),
@@ -199,6 +210,15 @@ func New(cfg Config) (*Runner, error) {
 	}
 	for sigma := 0; sigma < d; sigma++ {
 		r.effRows[sigma] = eff.Row(sigma)
+	}
+	if pop != nil {
+		if cfg.Topology != nil {
+			// The neighborhood laws alias r.effRows, so mid-run noise faults
+			// (which repoint its entries in place) propagate automatically.
+			r.vecNbr = newVecNbrObs(cfg.Topology, r.effRows, d, cfg.H, numChunks)
+		} else if d > 2 {
+			r.vecQ = make([]float64, d)
+		}
 	}
 	if r.needDisplays {
 		r.displays = make([]int, cfg.N)
@@ -361,6 +381,16 @@ func (r *Runner) AgentState(i int) (display, opinion int, err error) {
 	}
 	a := r.agents[i]
 	return a.Display(), a.Opinion(), nil
+}
+
+// displayAt returns agent i's live display symbol on either per-agent
+// engine path; the fault engine uses it to capture crash-time snapshots.
+func (r *Runner) displayAt(i int) int {
+	if r.pop != nil {
+		display, _ := r.pop.State(i)
+		return display
+	}
+	return r.agents[i].Display()
 }
 
 // AgentWeakOpinion returns agent i's weak opinion for protocols that form

@@ -300,9 +300,14 @@ type Config struct {
 	Workers int
 	// ForceScalar disables the vectorized struct-of-arrays fast path and
 	// keeps the run on the per-agent scalar engine even when the config is
-	// vec-eligible. The two paths draw randomness differently, so their
-	// trajectories differ bit-wise (each is individually deterministic);
-	// tests and A/B comparisons use this to pick the path explicitly.
+	// vec-eligible. The vectorized path now covers graph topologies,
+	// alphabets > 2, and the full fault palette (see vecEligible), so for
+	// exact/aggregate runs of a VecProtocol this flag is the main way to
+	// reach the scalar engine. The two paths draw randomness differently, so
+	// their trajectories differ bit-wise (each is individually
+	// deterministic); tests and A/B comparisons use this to pick the path
+	// explicitly, and recorded pre-vectorization traces stay reproducible
+	// under it.
 	ForceScalar bool
 	// TrackHistory records the per-round count of agents holding the
 	// correct opinion in Result.History.

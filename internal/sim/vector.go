@@ -2,16 +2,32 @@ package sim
 
 // Vectorized struct-of-arrays engine path.
 //
-// For binary-alphabet protocols on the complete graph, one round of the
-// exact and aggregate backends factors through a single scalar: given the
-// display counts, each agent's h observations are i.i.d. draws from the
-// mixture q with q₁ = Σ_σ (counts[σ]/n)·eff[σ][1], so the per-agent
-// observation vector is fully described by k₁ ~ Binomial(h, q₁) (and
-// k₀ = h − k₁). The vectorized path exploits this: instead of materializing
-// one heap agent, one RNG stream, and h alias draws per agent, a protocol
-// keeps its population as flat slices (a VecPopulation) and each round runs
-// two bulk passes — count displays, then draw one cached binomial (or less,
-// see the voter kernel) per agent and update state in place.
+// One round of the exact and aggregate backends factors through a small
+// per-round law instead of h individual channel applications per agent:
+//
+//   - Complete graph, binary alphabet: given the display counts, each
+//     agent's h observations are i.i.d. draws from the mixture q with
+//     q₁ = Σ_σ (counts[σ]/n)·eff[σ][1], so the per-agent observation vector
+//     is fully described by k₁ ~ Binomial(h, q₁) (and k₀ = h − k₁), drawn
+//     from one cached sampler shared by the whole round.
+//   - Complete graph, k-symbol alphabet: the same mixture has k components
+//     q_j = Σ_σ (counts[σ]/n)·eff[σ][j], and the observation vector is one
+//     Multinomial(h, q) draw per agent from a cached conditional-binomial
+//     batcher (rng.MultinomialDist) — the expensive first-component setup is
+//     paid once per round instead of once per agent.
+//   - Graph topology: agent i samples its neighborhood N(i), so the law is
+//     per-agent: a count-stencil pass over i's CSR adjacency row tallies the
+//     neighborhood displays, and q⁽ⁱ⁾_j = Σ_σ (cnt[σ]/deg)·eff[σ][j] feeds a
+//     per-agent binomial (binary) or multinomial (k-ary) draw. A per-chunk
+//     memo keyed on the neighborhood tally reuses the binomial setup across
+//     agents with identical tallies — on regular graphs near convergence
+//     that is almost all of them.
+//
+// Instead of materializing one heap agent, one RNG stream, and h alias
+// draws per agent, a protocol keeps its population as flat slices (a
+// VecPopulation) and each round runs two bulk passes — count displays (or
+// snapshot them, on a graph), then draw the per-agent law and update state
+// in place.
 //
 // Determinism is chunk-based rather than agent-based: the population is cut
 // into fixed VecChunkSize-agent chunks, each owning a private RNG stream
@@ -21,6 +37,14 @@ package sim
 // any Workers/GOMAXPROCS setting — the worker→chunk assignment only decides
 // who executes a chunk, never what it draws.
 //
+// Fault schedules run on this path too: noise swaps and drift repoint the
+// effective rows the law is rebuilt from every round; crash faults mask the
+// crashed lanes (their stale display snapshot feeds the law, and kernels
+// skip their draws and updates, exactly like the scalar path); corruption
+// and churn rewrite agent state in place through the optional
+// VecFaultPopulation interface, single-threaded at the round top from the
+// fault stream, so their timing and selection are deterministic in the seed.
+//
 // The path is taken automatically when the configuration is eligible (see
 // vecEligible); Config.ForceScalar pins the legacy per-agent path. The two
 // paths consume randomness differently, so for the same seed they produce
@@ -28,6 +52,7 @@ package sim
 // trajectories.
 
 import (
+	"noisypull/internal/graph"
 	"noisypull/internal/rng"
 )
 
@@ -46,16 +71,209 @@ const VecChunkSize = 4096
 const vecStreamID uint64 = 0x76656363_5eed0005
 
 // VecObs is the round's shared observation law, built once at the Phase A
-// barrier and read concurrently by every worker during Phase B.
+// barrier and read concurrently by every worker during Phase B. Kernels
+// consume it through the accessors (P1, K1, Counts, Crashed), which
+// dispatch on the population mode: exactly one of the complete-graph laws
+// (Bin for binary, Mult/Q for k-ary) or the per-neighborhood law (Nbr) is
+// set.
 type VecObs struct {
 	// H is the per-round sample count.
 	H int
 	// Q1 is the probability that a single observation reads symbol 1 after
-	// the (composed) noise channel.
+	// the (composed) noise channel — complete graph, binary alphabet only.
 	Q1 float64
 	// Bin is an initialized Binomial(H, Q1) sampler; Sample is read-only,
 	// so workers share it with their chunk streams.
 	Bin *rng.BinomialDist
+	// Q is the per-symbol observation law q_j — complete graph, alphabet
+	// > 2 only — and Mult the matching cached Multinomial(H, Q) batcher.
+	Q    []float64
+	Mult *rng.MultinomialDist
+	// nbr carries the per-agent neighborhood laws on graph-topology runs;
+	// nil on the complete graph.
+	nbr *vecNbrObs
+	// crashUntil aliases the fault engine's crash bookkeeping when the
+	// schedule contains crash events (nil otherwise): agent i is crashed —
+	// frozen display, no observations, no update — while crashUntil[i] >
+	// round, the round being executed.
+	crashUntil []int
+	round      int
+}
+
+// Crashed reports whether agent i is crash-frozen this round. Kernels must
+// skip the draws and the state update of a crashed agent and tally its
+// current opinion unchanged — the contract the scalar path implements.
+func (o *VecObs) Crashed(i int) bool {
+	return o.crashUntil != nil && o.crashUntil[i] > o.round
+}
+
+// P1 returns agent i's per-observation probability of reading symbol 1
+// (binary alphabets; the voter kernel's Bernoulli marginal).
+func (o *VecObs) P1(i int) float64 {
+	if o.nbr != nil {
+		return o.nbr.p1(i)
+	}
+	return o.Q1
+}
+
+// K1 draws the number of 1-observations among agent i's H samples (binary
+// alphabets), using the shared round sampler on the complete graph or the
+// agent's neighborhood law on a graph.
+func (o *VecObs) K1(i int, r *rng.Stream) int {
+	if o.nbr != nil {
+		return o.nbr.k1(i, r)
+	}
+	return o.Bin.Sample(r)
+}
+
+// maxJointSupport caps the support size stepVec will ask PrecomputeJoint to
+// enumerate: C(h+d-1, d-1) outcomes — 165 for the h=8, d=4 shapes the k-ary
+// protocols run at — rebuilt once per round and shared by every agent.
+const maxJointSupport = 4096
+
+// Counts draws agent i's per-symbol observation counts into out (length
+// |Σ|), the k-ary counterpart of K1. On the complete graph the shared round
+// sampler draws through its joint alias table when stepVec could build one
+// (same law, one alias draw per agent instead of d−1 conditional binomials).
+func (o *VecObs) Counts(i int, r *rng.Stream, out []int) {
+	if o.nbr != nil {
+		o.nbr.counts(i, r, out)
+		return
+	}
+	o.Mult.SampleJoint(r, out)
+}
+
+// vecNbrObs derives per-agent observation laws from a CSR graph: Phase A
+// publishes every agent's display into displays, and Phase B tallies each
+// agent's neighborhood with a count-stencil pass over its adjacency row,
+// mixes the tally through the effective noise rows, and draws from the
+// resulting binomial/multinomial. All mutable per-draw state is chunk-local
+// (one worker owns a chunk), so concurrent Phase B workers never share it.
+type vecNbrObs struct {
+	off, adj []int32       // the topology's CSR arrays
+	displays []uint8       // displays[v] = symbol agent v shows this round
+	effRows  [][]float64   // aliases the runner's rows: noise faults repoint entries
+	d, h     int           // alphabet, samples per round
+	chunks   []vecNbrChunk // per-chunk scratch + law memo, indexed i/VecChunkSize
+}
+
+// vecNbrChunk is one chunk's private neighborhood-law state. bins is a
+// direct-mapped memo of Binomial setups keyed by (degree, ones-tally),
+// indexed by ones modulo its size: on a regular graph the degree is constant
+// and ones ranges over [0, deg], so every reachable law gets its own slot
+// and the expensive Init (a math.Pow) is paid once per noise epoch rather
+// than once per agent. Entries stay valid across rounds — the law depends
+// on the tally, not on which agents produced it — until a noise fault
+// repoints the effective rows, which resetRound detects via the epoch. The
+// pad keeps the heavily written fields of adjacent chunks off one cache
+// line.
+type vecNbrChunk struct {
+	binKeys []int64 // (degree << 32) | ones per slot; -1 = empty
+	bins    []rng.BinomialDist
+	epoch   uint64 // noise epoch the memo was built under
+	mult    rng.MultinomialDist
+	cnt     []int     // k-ary tally scratch
+	w       []float64 // k-ary mixture weights scratch
+	_       [64]byte
+}
+
+func newVecNbrObs(g *graph.Graph, effRows [][]float64, d, h, numChunks int) *vecNbrObs {
+	nb := &vecNbrObs{
+		displays: make([]uint8, g.N()),
+		effRows:  effRows,
+		d:        d,
+		h:        h,
+		chunks:   make([]vecNbrChunk, numChunks),
+	}
+	nb.off, nb.adj = g.CSR()
+	// One memo slot per reachable ones-tally on a regular graph, capped so
+	// high-degree graphs direct-map (ones mod slots) instead of ballooning.
+	slots := g.MaxDegree() + 1
+	if slots > 64 {
+		slots = 64
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	for c := range nb.chunks {
+		nb.chunks[c].binKeys = make([]int64, slots)
+		nb.chunks[c].bins = make([]rng.BinomialDist, slots)
+		for s := range nb.chunks[c].binKeys {
+			nb.chunks[c].binKeys[s] = -1
+		}
+		nb.chunks[c].cnt = make([]int, d)
+		nb.chunks[c].w = make([]float64, d)
+	}
+	return nb
+}
+
+// resetRound invalidates chunk law memos whose noise epoch is stale: the
+// memoized laws depend only on the (degree, ones) key and the effective
+// rows, so they survive display changes and are only rebuilt after a noise
+// fault repoints the rows.
+func (nb *vecNbrObs) resetRound(epoch uint64) {
+	for c := range nb.chunks {
+		ch := &nb.chunks[c]
+		if ch.epoch == epoch {
+			continue
+		}
+		for s := range ch.binKeys {
+			ch.binKeys[s] = -1
+		}
+		ch.epoch = epoch
+	}
+}
+
+// tallyBinary counts the 1-displays in agent i's neighborhood.
+func (nb *vecNbrObs) tallyBinary(i int) (deg, ones int) {
+	row := nb.adj[nb.off[i]:nb.off[i+1]]
+	for _, v := range row {
+		ones += int(nb.displays[v])
+	}
+	return len(row), ones
+}
+
+// p1 is agent i's per-observation probability of reading 1: the
+// neighborhood display mixture pushed through the effective channel.
+func (nb *vecNbrObs) p1(i int) float64 {
+	deg, ones := nb.tallyBinary(i)
+	return (float64(ones)*nb.effRows[1][1] + float64(deg-ones)*nb.effRows[0][1]) / float64(deg)
+}
+
+// k1 draws Binomial(h, p1(i)) through the chunk's memoized sampler.
+func (nb *vecNbrObs) k1(i int, r *rng.Stream) int {
+	c := &nb.chunks[i/VecChunkSize]
+	deg, ones := nb.tallyBinary(i)
+	key := int64(deg)<<32 | int64(ones)
+	slot := ones % len(c.binKeys)
+	if c.binKeys[slot] != key {
+		q1 := (float64(ones)*nb.effRows[1][1] + float64(deg-ones)*nb.effRows[0][1]) / float64(deg)
+		c.bins[slot].Init(nb.h, q1)
+		c.binKeys[slot] = key
+	}
+	return c.bins[slot].Sample(r)
+}
+
+// counts draws agent i's k-ary observation vector: tally the neighborhood
+// displays, mix through the effective rows, and draw one multinomial.
+func (nb *vecNbrObs) counts(i int, r *rng.Stream, out []int) {
+	c := &nb.chunks[i/VecChunkSize]
+	cnt := c.cnt
+	for j := range cnt {
+		cnt[j] = 0
+	}
+	for _, v := range nb.adj[nb.off[i]:nb.off[i+1]] {
+		cnt[nb.displays[v]]++
+	}
+	for j := 0; j < nb.d; j++ {
+		acc := 0.0
+		for sigma := 0; sigma < nb.d; sigma++ {
+			acc += float64(cnt[sigma]) * nb.effRows[sigma][j]
+		}
+		c.w[j] = acc
+	}
+	c.mult.Init(nb.h, c.w)
+	c.mult.Sample(r, out)
 }
 
 // VecSpec carries everything a protocol needs to build and (re)initialize a
@@ -88,9 +306,15 @@ type VecPopulation interface {
 	// CountRange accumulates the current display symbol of agents [lo, hi)
 	// into counts (length |Σ|). It must add, not overwrite.
 	CountRange(lo, hi int, counts []int)
+	// DisplayRange writes the current display symbol of agents [lo, hi)
+	// into out[lo:hi] (out has the population length); graph-topology runs
+	// use it to publish the display vector the neighborhood laws read.
+	DisplayRange(lo, hi int, out []uint8)
 	// StepRange delivers one round of observations to agents [lo, hi),
 	// updating their state in place, and returns the number of agents in
-	// the range holding opinion 1 afterwards.
+	// the range holding opinion 1 afterwards. Kernels must honor the crash
+	// mask: a crashed agent (obs.Crashed(i)) draws nothing, keeps its
+	// state, and still tallies its current opinion.
 	StepRange(lo, hi int, obs *VecObs, r *rng.Stream) int
 	// State returns agent i's current display symbol and opinion.
 	State(i int) (display, opinion int)
@@ -110,25 +334,47 @@ type VecProtocol interface {
 }
 
 // VecWeakOpinions is optionally implemented by populations whose protocol
-// exposes a weak opinion (SF's Ŷ); Runner.AgentWeakOpinion uses it.
+// exposes a weak opinion (SF's and SSF's Ŷ); Runner.AgentWeakOpinion uses
+// it.
 type VecWeakOpinions interface {
 	WeakOpinionAt(i int) int
 }
 
+// VecFaultPopulation is optionally implemented by populations that support
+// agent-granular fault application, the vectorized counterpart of the
+// scalar path's Corruptible + rebuild-on-churn semantics. Both methods are
+// called single-threaded between rounds with the engine's fault stream, so
+// implementations may touch any agent state without synchronization.
+type VecFaultPopulation interface {
+	// CorruptAt applies the mid-run corruption adversary to agent i,
+	// mirroring the protocol's scalar Corrupt (including its role checks).
+	CorruptAt(i int, mode CorruptionMode, wrong int, r *rng.Stream)
+	// ReinitAt resets agent i to a freshly arrived non-source — the state a
+	// new scalar agent has after NewAgent + SeedInit, without the spec's
+	// round-0 corruption. The engine only churns non-sources.
+	ReinitAt(i int, r *rng.Stream)
+}
+
 // vecEligible reports whether the configuration may take the vectorized
-// path: binary alphabet on the complete graph, a per-agent backend, and a
-// fault schedule the bulk kernels can honor (noise-only — noise swaps and
-// drift repoint the effective rows the law is rebuilt from every round;
-// crash, churn, and corruption faults mutate individual agents and stay on
-// the scalar path).
-func vecEligible(cfg *Config, backend Backend, env Env) bool {
-	if cfg.ForceScalar || cfg.Topology != nil || env.Alphabet != 2 {
+// path. Graph topologies (per-neighborhood laws), alphabets > 2 (cached
+// multinomial batching), and the full fault-schedule palette are all
+// handled on the vectorized path, so the predicate is opt-out- and
+// backend-only. The remaining exclusions, each with its reason:
+//
+//   - Config.ForceScalar — the explicit pin to the legacy per-agent path.
+//   - BackendCounts — tracks class counts; there is no per-agent state to
+//     vectorize (and it is already O(1) in n).
+//   - Protocols that do not implement VecProtocol, or whose
+//     NewVecPopulation returns nil for the given spec — no bulk kernel
+//     exists, so New falls back to the scalar path at construction.
+//   - Corruption/churn schedules whose population does not implement
+//     VecFaultPopulation (see vecCompatibleFaults) — those faults rewrite
+//     individual agent state, which needs population cooperation.
+func vecEligible(cfg *Config, backend Backend) bool {
+	if cfg.ForceScalar {
 		return false
 	}
-	if backend != BackendExact && backend != BackendAggregate {
-		return false
-	}
-	return vecCompatibleFaults(cfg.Faults)
+	return backend == BackendExact || backend == BackendAggregate
 }
 
 // numVecChunks returns the chunk count for an n-agent population.
@@ -155,28 +401,81 @@ func (r *Runner) initVecPopulation() {
 }
 
 // stepVec executes one synchronous round on the vectorized path. Phase A
-// counts displays in per-worker shards; the barrier folds them and builds
-// the round's one-step observation law; Phase B steps every chunk with its
-// own stream. Like the scalar step, it allocates nothing in steady state.
+// counts displays in per-worker shards (complete graph) or publishes the
+// display vector (topology); the barrier folds in the crash mask and builds
+// the round's observation law; Phase B steps every chunk with its own
+// stream. Like the scalar step, it allocates nothing in steady state.
 func (r *Runner) stepVec() (int, error) {
 	if r.pool != nil {
 		r.pool.dispatch(phaseSnapshot)
 	} else {
 		r.vecCountRange(0)
 	}
-	for j := range r.counts {
-		r.counts[j] = 0
+	round := r.curRound
+	var crashUntil []int
+	if r.fs != nil && r.fs.crashUntil != nil {
+		crashUntil = r.fs.crashUntil
 	}
-	for w := range r.scratch {
-		for j, c := range r.scratch[w].shard {
-			r.counts[j] += c
+	if r.vecNbr != nil {
+		// Masked lanes: a crashed agent's neighbors keep seeing the display
+		// it froze with, not its live state.
+		if crashUntil != nil {
+			for i, until := range crashUntil {
+				if until > round {
+					r.vecNbr.displays[i] = uint8(r.fs.frozen[i])
+				}
+			}
+		}
+		r.vecNbr.resetRound(r.noiseEpoch)
+		r.vecObs = VecObs{H: r.cfg.H, nbr: r.vecNbr, crashUntil: crashUntil, round: round}
+	} else {
+		for j := range r.counts {
+			r.counts[j] = 0
+		}
+		for w := range r.scratch {
+			for j, c := range r.scratch[w].shard {
+				r.counts[j] += c
+			}
+		}
+		// Phase A counted live displays; swap crashed agents' contributions
+		// for their stale crash-time snapshot (they differ only when a
+		// corruption fault rewrote a crashed agent's state mid-freeze).
+		if crashUntil != nil {
+			for i, until := range crashUntil {
+				if until > round {
+					live, _ := r.pop.State(i)
+					r.counts[live]--
+					r.counts[r.fs.frozen[i]]++
+				}
+			}
+		}
+		// One observation is a uniform display pushed through the composed
+		// channel: a draw from the counts-weighted mixture of effective rows.
+		if r.env.Alphabet == 2 {
+			q1 := (float64(r.counts[0])*r.effRows[0][1] + float64(r.counts[1])*r.effRows[1][1]) / float64(r.cfg.N)
+			r.binDist.Init(r.cfg.H, q1)
+			r.vecObs = VecObs{H: r.cfg.H, Q1: q1, Bin: &r.binDist, crashUntil: crashUntil, round: round}
+		} else {
+			d := r.env.Alphabet
+			invN := 1 / float64(r.cfg.N)
+			for j := 0; j < d; j++ {
+				acc := 0.0
+				for sigma := 0; sigma < d; sigma++ {
+					acc += float64(r.counts[sigma]) * r.effRows[sigma][j]
+				}
+				r.vecQ[j] = acc * invN
+			}
+			r.multDist.Init(r.cfg.H, r.vecQ)
+			// The round sampler is shared by every agent, so precomputing its
+			// draw tables here — joint alias when the support is small, cached
+			// conditional binomials otherwise — amortizes across the whole
+			// population before the concurrent Phase B reads it.
+			if !r.multDist.PrecomputeJoint(maxJointSupport) {
+				r.multDist.PrecomputeCond()
+			}
+			r.vecObs = VecObs{H: r.cfg.H, Q: r.vecQ, Mult: &r.multDist, crashUntil: crashUntil, round: round}
 		}
 	}
-	// One observation is a uniform display pushed through the composed
-	// channel: a draw from the counts-weighted mixture of effective rows.
-	q1 := (float64(r.counts[0])*r.effRows[0][1] + float64(r.counts[1])*r.effRows[1][1]) / float64(r.cfg.N)
-	r.binDist.Init(r.cfg.H, q1)
-	r.vecObs = VecObs{H: r.cfg.H, Q1: q1, Bin: &r.binDist}
 
 	if r.pool != nil {
 		r.pool.dispatch(phaseObserve)
@@ -194,9 +493,11 @@ func (r *Runner) stepVec() (int, error) {
 }
 
 // vecCountRange is Phase A for worker w: accumulate display counts of the
-// worker's chunks into its shard. Chunk→worker assignment is a static
-// stride; it affects only who counts a chunk, and integer sums commute, so
-// the merged counts are independent of the worker count.
+// worker's chunks into its shard — or, on a graph, publish their displays
+// into the shared display vector (chunks are disjoint index ranges, so the
+// writes never overlap). Chunk→worker assignment is a static stride; it
+// affects only who processes a chunk, and integer sums commute, so the
+// merged state is independent of the worker count.
 func (r *Runner) vecCountRange(w int) {
 	s := &r.scratch[w]
 	for j := range s.shard {
@@ -205,7 +506,11 @@ func (r *Runner) vecCountRange(w int) {
 	s.err = nil
 	for c := w; c < r.numChunks; c += r.workers {
 		lo, hi := r.chunkBounds(c)
-		r.pop.CountRange(lo, hi, s.shard)
+		if r.vecNbr != nil {
+			r.pop.DisplayRange(lo, hi, r.vecNbr.displays)
+		} else {
+			r.pop.CountRange(lo, hi, s.shard)
+		}
 	}
 }
 

@@ -8,8 +8,8 @@
 //     setting (per-chunk streams + commutative integer merges);
 //  2. the vec and scalar paths agree *distributionally* — same protocols,
 //     same observation law, indistinguishable outcome statistics;
-//  3. vec snapshots resume bit-identically, including under live
-//     vec-compatible fault schedules (noise swap/drift);
+//  3. vec snapshots resume bit-identically, including under live fault
+//     schedules (noise swap/drift, and mid-crash with corruption/churn);
 //  4. cross-path restores (vec snapshot into a scalar runner and vice versa)
 //     fail loudly instead of silently diverging;
 //  5. the eligibility predicate routes exactly the configurations the vec
@@ -83,7 +83,7 @@ func vecCases() []vecCase {
 			},
 		},
 		{
-			// Noise swap + drift are the vec-compatible fault kinds; the
+			// Noise swap + drift repoint the observation law mid-run; the
 			// schedule must not knock the run off the vec path.
 			name: "voter noise faults",
 			cfg: func(t *testing.T, seed uint64) sim.Config {
@@ -98,6 +98,88 @@ func vecCases() []vecCase {
 					Faults: &faults.Schedule{Events: []faults.Event{
 						{Kind: faults.KindNoiseSwap, Round: 6, Matrix: mustUniform(0.3)},
 						{Kind: faults.KindNoiseDrift, Round: 14, Delta: 0.12, DriftRounds: 8},
+					}},
+				}
+			},
+		},
+		{
+			// Graph topology: per-agent neighborhood laws over the CSR
+			// adjacency, multi-chunk so the display vector is published by
+			// several workers.
+			name: "majority regular graph",
+			cfg: func(t *testing.T, seed uint64) sim.Config {
+				g, err := graph.RandomRegular(10000, 8, 424242)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sim.Config{
+					N: 10000, H: 6, Sources1: 80, Sources0: 20,
+					Noise:           uniformNoise(t, 2, 0.1),
+					Protocol:        protocol.MajorityRule{},
+					Topology:        g,
+					Seed:            seed,
+					Backend:         sim.BackendExact,
+					MaxRounds:       40,
+					StabilityWindow: 20,
+				}
+			},
+		},
+		{
+			// k-ary alphabet on the complete graph: cached multinomial
+			// observation batching, multi-chunk.
+			name: "ssf k4 aggregate",
+			cfg: func(t *testing.T, seed uint64) sim.Config {
+				return sim.Config{
+					N: 5000, H: 8, Sources1: 60, Sources0: 15,
+					Noise:           uniformNoise(t, 4, 0.1),
+					Protocol:        protocol.NewSSF(protocol.WithSSFUpdateQuota(96)),
+					Seed:            seed,
+					Backend:         sim.BackendAggregate,
+					MaxRounds:       200,
+					StabilityWindow: 12,
+					Corruption:      sim.CorruptRandom,
+				}
+			},
+		},
+		{
+			// k-ary alphabet on a graph: neighborhood tallies feeding
+			// per-agent multinomials.
+			name: "trustbit regular graph",
+			cfg: func(t *testing.T, seed uint64) sim.Config {
+				g, err := graph.RandomRegular(5000, 10, 171717)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sim.Config{
+					N: 5000, H: 6, Sources1: 100, Sources0: 20,
+					Noise:           uniformNoise(t, 4, 0.08),
+					Protocol:        protocol.TrustBit{},
+					Topology:        g,
+					Seed:            seed,
+					Backend:         sim.BackendExact,
+					MaxRounds:       40,
+					StabilityWindow: 25,
+				}
+			},
+		},
+		{
+			// The structural fault palette on the SoA population: mid-run
+			// corruption, a crash window spanning the snapshot round of the
+			// resume test (12 → 22, over round 16), and churn.
+			name: "voter crash churn corrupt",
+			cfg: func(t *testing.T, seed uint64) sim.Config {
+				return sim.Config{
+					N: 6000, H: 4, Sources1: 40, Sources0: 10,
+					Noise:           uniformNoise(t, 2, 0.12),
+					Protocol:        protocol.Voter{},
+					Seed:            seed,
+					Backend:         sim.BackendExact,
+					MaxRounds:       60,
+					StabilityWindow: 10,
+					Faults: &faults.Schedule{Events: []faults.Event{
+						{Kind: faults.KindCorrupt, Round: 8, Fraction: 0.2, Corruption: faults.CorruptRandom},
+						{Kind: faults.KindCrash, Round: 12, Fraction: 0.3, Duration: 10},
+						{Kind: faults.KindChurn, Round: 14, Fraction: 0.15, Corruption: faults.CorruptWrongConsensus},
 					}},
 				}
 			},
@@ -184,6 +266,33 @@ func TestVecMatchesScalarDistribution(t *testing.T) {
 				z, mean(vec), mean(sca))
 		}
 	})
+	t.Run("majority graph mean final correct", func(t *testing.T) {
+		const trials = 120
+		g, err := graph.RandomRegular(500, 8, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := func(seed uint64) sim.Config {
+			return sim.Config{
+				N: 500, H: 5, Sources1: 10, Sources0: 2,
+				Noise:           uniformNoise(t, 2, 0.1),
+				Protocol:        protocol.MajorityRule{},
+				Topology:        g,
+				Seed:            seed,
+				Backend:         sim.BackendExact,
+				MaxRounds:       30,
+				StabilityWindow: 30,
+				Workers:         1,
+			}
+		}
+		vec := sampleFinalCorrect(t, base, false, trials, true)
+		sca := sampleFinalCorrect(t, base, true, trials, false)
+		z := welchZ(vec, sca)
+		if math.Abs(z) > 4.5 {
+			t.Fatalf("graph majority vec vs scalar mean final-correct diverges: z = %.2f (vec mean %.1f, scalar mean %.1f)",
+				z, mean(vec), mean(sca))
+		}
+	})
 	t.Run("sf win rate", func(t *testing.T) {
 		const trials = 80
 		base := func(seed uint64) sim.Config {
@@ -234,6 +343,79 @@ func TestVecMatchesScalarDistribution(t *testing.T) {
 				z, vecWins, trials, scaWins, trials)
 		}
 	})
+}
+
+// TestVecScalarChiSquare: on a k = 4 alphabet the vec path draws one cached
+// multinomial per agent while the scalar path samples h symbols through
+// alias tables; both must realize the same display law. Each trial records
+// the final per-symbol display fractions; each symbol's fractions are
+// compared across paths with a Welch z over independent seeds, and the
+// summed z² forms an aggregate chi-square-style statistic.
+func TestVecScalarChiSquare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical A/B needs many trials")
+	}
+	const trials = 60
+	const n = 400
+	base := func(seed uint64) sim.Config {
+		return sim.Config{
+			N: n, H: 6, Sources1: 8, Sources0: 2,
+			Noise:           uniformNoise(t, 4, 0.1),
+			Protocol:        protocol.TrustBit{},
+			Seed:            seed,
+			Backend:         sim.BackendAggregate,
+			MaxRounds:       25,
+			StabilityWindow: 25,
+			Workers:         1,
+		}
+	}
+	sample := func(forceScalar, wantVec bool) [4][]float64 {
+		var cols [4][]float64
+		for tr := 0; tr < trials; tr++ {
+			cfg := base(uint64(3000 + tr))
+			cfg.ForceScalar = forceScalar
+			r, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Vectorized() != wantVec {
+				t.Fatalf("Vectorized() = %v, want %v (ForceScalar=%v)", r.Vectorized(), wantVec, forceScalar)
+			}
+			if _, err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+			var cnt [4]int
+			for i := 0; i < n; i++ {
+				d, _, err := r.AgentState(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cnt[d]++
+			}
+			r.Close()
+			for j := 0; j < 4; j++ {
+				cols[j] = append(cols[j], float64(cnt[j])/float64(n))
+			}
+		}
+		return cols
+	}
+	vec := sample(false, true)
+	sca := sample(true, false)
+	chi2 := 0.0
+	for j := 0; j < 4; j++ {
+		z := welchZ(vec[j], sca[j])
+		chi2 += z * z
+		if math.Abs(z) > 4.5 {
+			t.Errorf("symbol %d display fraction diverges between paths: z = %.2f (vec mean %.3f, scalar mean %.3f)",
+				j, z, mean(vec[j]), mean(sca[j]))
+		}
+	}
+	// Four ~N(0,1) components under the null: 40 sits far beyond any
+	// plausible chi-square(4) quantile while staying robust to the mild
+	// cross-symbol correlation (fractions sum to 1).
+	if chi2 > 40 {
+		t.Errorf("aggregate chi-square statistic %.1f over 4 symbols exceeds threshold 40", chi2)
+	}
 }
 
 func sampleFinalCorrect(t *testing.T, base func(seed uint64) sim.Config, forceScalar bool, trials int, wantVec bool) []float64 {
@@ -407,9 +589,11 @@ func TestVecCrossPathRestoreRejected(t *testing.T) {
 }
 
 // TestVecEligibility enumerates the routing predicate: everything the vec
-// kernels can honor goes vec; anything they cannot (alphabet > 2, counts
-// backend, topology, structural faults, non-vec protocols, explicit opt-out)
-// stays on the scalar path.
+// kernels can honor goes vec — graph topologies, alphabets > 2, and the
+// full fault palette included — and only the documented exclusions (counts
+// backend, protocols without kernels, explicit opt-out) stay on the scalar
+// path. The CI vec-parity step runs this test by name, so a regression that
+// silently reroutes an eligible config to the scalar path fails the build.
 func TestVecEligibility(t *testing.T) {
 	base := func() sim.Config {
 		return sim.Config{
@@ -443,25 +627,48 @@ func TestVecEligibility(t *testing.T) {
 				{Kind: faults.KindNoiseDrift, Round: 3, Delta: 0.1, DriftRounds: 2},
 			}}
 		}, true},
-		{"force scalar", func(c *sim.Config) { c.ForceScalar = true }, false},
-		{"counts backend", func(c *sim.Config) { c.Backend = sim.BackendCounts }, false},
-		{"topology", func(c *sim.Config) { c.Topology = ring }, false},
+		{"topology", func(c *sim.Config) { c.Topology = ring }, true},
 		{"corrupt fault", func(c *sim.Config) {
 			c.Faults = &faults.Schedule{Events: []faults.Event{
 				{Kind: faults.KindCorrupt, Round: 3, Fraction: 0.1, Corruption: faults.CorruptRandom},
 			}}
-		}, false},
+		}, true},
 		{"crash fault", func(c *sim.Config) {
 			c.Faults = &faults.Schedule{Events: []faults.Event{
 				{Kind: faults.KindCrash, Round: 3, Fraction: 0.1, Duration: 2},
 			}}
-		}, false},
+		}, true},
+		{"churn fault", func(c *sim.Config) {
+			c.Faults = &faults.Schedule{Events: []faults.Event{
+				{Kind: faults.KindChurn, Round: 3, Fraction: 0.1},
+			}}
+		}, true},
 		{"alphabet 4 trustbit", func(c *sim.Config) {
 			c.Protocol = protocol.TrustBit{}
 			c.Noise = uniformNoise(t, 4, 0.1)
 			c.H = 40
 			c.Backend = sim.BackendAggregate
-		}, false},
+		}, true},
+		{"alphabet 4 ssf exact", func(c *sim.Config) {
+			c.Protocol = protocol.NewSSF(protocol.WithSSFUpdateQuota(32))
+			c.Noise = uniformNoise(t, 4, 0.1)
+			c.Backend = sim.BackendExact
+			c.MaxRounds = 30
+		}, true},
+		{"alphabet 4 on topology", func(c *sim.Config) {
+			c.Protocol = protocol.TrustBit{}
+			c.Noise = uniformNoise(t, 4, 0.1)
+			c.Topology = ring
+		}, true},
+		{"crash+churn on graph", func(c *sim.Config) {
+			c.Topology = ring
+			c.Faults = &faults.Schedule{Events: []faults.Event{
+				{Kind: faults.KindCrash, Round: 3, Fraction: 0.2, Duration: 3},
+				{Kind: faults.KindChurn, Round: 5, Fraction: 0.1},
+			}}
+		}, true},
+		{"force scalar", func(c *sim.Config) { c.ForceScalar = true }, false},
+		{"counts backend", func(c *sim.Config) { c.Backend = sim.BackendCounts }, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -477,6 +684,84 @@ func TestVecEligibility(t *testing.T) {
 			}
 			if _, err := r.Run(); err != nil {
 				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestVecAgentWeakOpinion: the weak-opinion accessor must work on every
+// vectorized population whose protocol forms one — including the k-ary SSF
+// population and graph-topology runs — and report ok = false (not a silent
+// zero with ok = true) for protocols without a weak opinion.
+func TestVecAgentWeakOpinion(t *testing.T) {
+	ring, err := graph.Ring(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		cfg     sim.Config
+		hasWeak bool
+	}{
+		{
+			name: "ssf k4 complete",
+			cfg: sim.Config{
+				N: 300, H: 8, Sources1: 6, Sources0: 2,
+				Noise:     uniformNoise(t, 4, 0.1),
+				Protocol:  protocol.NewSSF(protocol.WithSSFUpdateQuota(32)),
+				Seed:      11,
+				Backend:   sim.BackendAggregate,
+				MaxRounds: 20, StabilityWindow: 20,
+			},
+			hasWeak: true,
+		},
+		{
+			name: "sf ring graph",
+			cfg: sim.Config{
+				N: 300, H: 8, Sources1: 3, Sources0: 1,
+				Noise:     uniformNoise(t, 2, 0.15),
+				Protocol:  protocol.NewSF(),
+				Topology:  ring,
+				Seed:      12,
+				Backend:   sim.BackendExact,
+				MaxRounds: 400,
+			},
+			hasWeak: true,
+		},
+		{
+			name: "trustbit k4 complete",
+			cfg: sim.Config{
+				N: 300, H: 6, Sources1: 6, Sources0: 2,
+				Noise:     uniformNoise(t, 4, 0.1),
+				Protocol:  protocol.TrustBit{},
+				Seed:      13,
+				Backend:   sim.BackendAggregate,
+				MaxRounds: 20, StabilityWindow: 20,
+			},
+			hasWeak: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := sim.New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if !r.Vectorized() {
+				t.Fatal("expected the vectorized path")
+			}
+			if _, err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for _, i := range []int{0, tc.cfg.N / 2, tc.cfg.N - 1} {
+				weak, ok := r.AgentWeakOpinion(i)
+				if ok != tc.hasWeak {
+					t.Fatalf("agent %d: AgentWeakOpinion ok = %v, want %v", i, ok, tc.hasWeak)
+				}
+				if ok && weak != 0 && weak != 1 {
+					t.Fatalf("agent %d: weak opinion %d outside {0,1}", i, weak)
+				}
 			}
 		})
 	}
