@@ -29,12 +29,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"noisypull/internal/buildinfo"
+	"noisypull/internal/chaos"
 	"noisypull/internal/fleet"
 	"noisypull/internal/service"
 )
@@ -72,6 +74,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		leaseTTL    = fs.Duration("lease-ttl", 15*time.Second, "fleet: heartbeat deadline before a leased seed range is re-leased")
 		nodeTTL     = fs.Duration("node-ttl", 10*time.Second, "fleet: silence deadline before a worker is declared dead")
 		fleetPoll   = fs.Duration("fleet-poll", 500*time.Millisecond, "fleet: idle-worker poll interval advertised to workers")
+		leaseMax    = fs.Int("lease-attempts", 0, "fleet: times one seed range may be leased before its job fails (0 = default 5)")
+		chaosSpec   = fs.String("chaos-spec", "", `fleet: deterministic wire-fault injection, e.g. "seed=7,drop=0.1,delay=0.2:20ms,dup=0.1,corrupt=0.05,partition=1500ms/6s" (chaos testing only)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +94,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case *join != "":
 		mode = "worker"
 	}
+
+	cspec, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		return err
+	}
+	if cspec != nil && mode == "single" {
+		return errors.New("-chaos-spec applies to fleet wire traffic: it requires -coordinator or -join")
+	}
+	inj := chaos.New(cspec) // nil spec → nil injector → every hook is a no-op
 
 	logger := log.New(out, "", log.LstdFlags)
 	logf := func(format string, a ...any) { logger.Printf(format, a...) }
@@ -116,25 +129,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	switch mode {
 	case "coordinator":
 		coord := fleet.NewCoordinator(fleet.Config{
-			LeaseSeeds:   *leaseSeeds,
-			LeaseTTL:     *leaseTTL,
-			NodeTTL:      *nodeTTL,
-			PollInterval: *fleetPoll,
-			Logf:         logf,
+			LeaseSeeds:       *leaseSeeds,
+			LeaseTTL:         *leaseTTL,
+			NodeTTL:          *nodeTTL,
+			PollInterval:     *fleetPoll,
+			MaxLeaseAttempts: *leaseMax,
+			Logf:             logf,
 		})
 		defer coord.Close()
 		dcfg.Service.Dispatcher = coord
-		dcfg.Service.ExtraMetrics = coord.WriteMetrics
-		dcfg.Routes = coord.Routes
+		dcfg.Service.ExtraMetrics = chainMetrics(coord.WriteMetrics, inj)
+		// Bind gives the coordinator the service's lease journal once the
+		// journal replay has reconstructed banked results and in-flight
+		// leases — before the listener opens, so no RPC beats it.
+		dcfg.Bind = func(svc *service.Service) { coord.Bind(svc) }
+		// Chaos middleware wraps only the fleet wire endpoints: the /v1 job
+		// API and health endpoints stay clean so tests and operators can
+		// still observe the daemon deterministically.
+		dcfg.Routes = func(mux *http.ServeMux) { coord.RoutesWith(mux, inj.Middleware) }
 	case "worker":
+		client := service.NewClient(*join)
+		client.HTTPClient = &http.Client{Transport: inj.Transport(http.DefaultTransport)}
 		worker = fleet.NewWorker(fleet.WorkerConfig{
 			Coordinator: *join,
 			NodeID:      *nodeID,
 			Slots:       *slots,
 			SimWorkers:  *simWorkers,
+			Client:      client,
 			Logf:        logf,
 		})
-		dcfg.Service.ExtraMetrics = worker.WriteMetrics
+		dcfg.Service.ExtraMetrics = chainMetrics(worker.WriteMetrics, inj)
 	}
 
 	journalDisplay := *journalDir
@@ -152,4 +176,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		defer worker.Close()
 	}
 	return d.Run(ctx)
+}
+
+// chainMetrics appends the chaos injector's counters to a fleet metrics
+// writer; a nil injector leaves the writer untouched.
+func chainMetrics(fn func(io.Writer) error, inj *chaos.Injector) func(io.Writer) error {
+	if inj == nil {
+		return fn
+	}
+	return func(w io.Writer) error {
+		if err := fn(w); err != nil {
+			return err
+		}
+		return inj.WriteMetrics(w)
+	}
 }

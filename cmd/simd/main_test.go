@@ -45,13 +45,29 @@ func TestCoordinatorAndJoinAreExclusive(t *testing.T) {
 	}
 }
 
+func TestChaosSpecRequiresFleetMode(t *testing.T) {
+	var out syncBuffer
+	err := run(context.Background(), []string{"-chaos-spec", "seed=1,drop=0.5"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-coordinator or -join") {
+		t.Fatalf("err = %v, want fleet-mode requirement", err)
+	}
+}
+
+func TestChaosSpecParseErrorIsReported(t *testing.T) {
+	var out syncBuffer
+	err := run(context.Background(), []string{"-coordinator", "-chaos-spec", "drop=two"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("err = %v, want chaos spec parse error", err)
+	}
+}
+
 func TestBadFlagReturnsError(t *testing.T) {
 	var out syncBuffer
 	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
 	// Usage lists the fleet flags alongside the core ones.
-	for _, want := range []string{"-coordinator", "-join", "-lease-seeds", "-journal-dir"} {
+	for _, want := range []string{"-coordinator", "-join", "-lease-seeds", "-journal-dir", "-chaos-spec", "-lease-attempts"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("usage missing %s:\n%s", want, out.String())
 		}

@@ -1,0 +1,386 @@
+// Package chaos injects deterministic wire faults into the fleet's HTTP
+// paths. The fault timeline is a pure function of a chaos seed and the
+// request ordinal — the same salted derived-stream discipline as
+// internal/faults — so a soak run that fails reproduces exactly under the
+// same spec. Client-side faults (drop, delay, duplicate, corrupt) wrap an
+// http.RoundTripper; server-side faults (drop, delay, partition) wrap an
+// http.Handler. A nil *Injector is a guaranteed no-op: both wrappers
+// return their argument unchanged, so absent chaos costs nothing on the
+// hot path.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"noisypull/internal/rng"
+)
+
+// chaosStreamID salts the per-request derived streams so a chaos seed that
+// happens to equal a simulation seed still produces an independent
+// timeline.
+const chaosStreamID = 0x63686165_5eed0001 // "chae"
+
+// Spec declares which faults to inject and how often. Zero-valued fields
+// disable their fault class.
+type Spec struct {
+	// Seed keys the deterministic fault timeline.
+	Seed uint64
+	// Drop is the probability a request vanishes: the client transport
+	// returns a synthetic network error, the server middleware aborts the
+	// connection mid-response.
+	Drop float64
+	// DelayP is the probability a request is stalled; the stall length is
+	// uniform in (0, Delay].
+	DelayP float64
+	Delay  time.Duration
+	// Dup is the probability the client transport sends the request twice
+	// (the duplicate fires first; its response is discarded).
+	Dup float64
+	// Corrupt is the probability the client transport flips one bit of the
+	// request body before sending.
+	Corrupt float64
+	// PartitionFor/PartitionEvery carve a periodic outage window: for the
+	// first PartitionFor of every PartitionEvery, the client transport
+	// errors and the server middleware answers 503 + Retry-After.
+	PartitionFor   time.Duration
+	PartitionEvery time.Duration
+}
+
+// ParseSpec parses the -chaos-spec flag syntax: comma-separated k=v pairs,
+// e.g. "seed=7,drop=0.1,delay=0.2:20ms,dup=0.1,corrupt=0.05,partition=1500ms/6s".
+// delay is probability:duration; partition is outage/period. An empty
+// string returns (nil, nil) — chaos off.
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := &Spec{Seed: 1}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			spec.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "drop":
+			spec.Drop, err = parseProb(v)
+		case "dup":
+			spec.Dup, err = parseProb(v)
+		case "corrupt":
+			spec.Corrupt, err = parseProb(v)
+		case "delay":
+			p, d, ok := strings.Cut(v, ":")
+			if !ok {
+				return nil, fmt.Errorf("chaos: delay wants prob:duration, got %q", v)
+			}
+			if spec.DelayP, err = parseProb(p); err == nil {
+				spec.Delay, err = time.ParseDuration(d)
+			}
+			if err == nil && spec.Delay <= 0 {
+				err = fmt.Errorf("chaos: delay duration must be positive, got %s", spec.Delay)
+			}
+		case "partition":
+			f, e, ok := strings.Cut(v, "/")
+			if !ok {
+				return nil, fmt.Errorf("chaos: partition wants outage/period, got %q", v)
+			}
+			if spec.PartitionFor, err = time.ParseDuration(f); err == nil {
+				spec.PartitionEvery, err = time.ParseDuration(e)
+			}
+			if err == nil && (spec.PartitionFor <= 0 || spec.PartitionEvery <= spec.PartitionFor) {
+				err = fmt.Errorf("chaos: partition outage must be positive and shorter than its period, got %q", v)
+			}
+		default:
+			return nil, fmt.Errorf("chaos: unknown key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad %s: %w", k, err)
+		}
+	}
+	return spec, nil
+}
+
+func parseProb(v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+// String renders the spec back in flag syntax (for startup logs).
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", s.Seed)
+	if s.Drop > 0 {
+		fmt.Fprintf(&b, ",drop=%v", s.Drop)
+	}
+	if s.DelayP > 0 {
+		fmt.Fprintf(&b, ",delay=%v:%s", s.DelayP, s.Delay)
+	}
+	if s.Dup > 0 {
+		fmt.Fprintf(&b, ",dup=%v", s.Dup)
+	}
+	if s.Corrupt > 0 {
+		fmt.Fprintf(&b, ",corrupt=%v", s.Corrupt)
+	}
+	if s.PartitionEvery > 0 {
+		fmt.Fprintf(&b, ",partition=%s/%s", s.PartitionFor, s.PartitionEvery)
+	}
+	return b.String()
+}
+
+// Decision is the fault verdict for one request ordinal. The draws happen
+// in a fixed order (drop, delay, delay length, dup, corrupt, corrupt
+// position) so the timeline is stable for a given spec.
+type Decision struct {
+	Drop    bool
+	Delay   time.Duration
+	Dup     bool
+	Corrupt bool
+}
+
+// Injector applies a Spec's faults. One injector serves a whole process;
+// the request ordinal is a shared atomic so client and server wrappers
+// draw from one interleaved timeline.
+type Injector struct {
+	spec  Spec
+	seq   atomic.Uint64
+	start time.Time
+	now   func() time.Time // test hook
+
+	dropped     atomic.Int64
+	delayed     atomic.Int64
+	duplicated  atomic.Int64
+	corrupted   atomic.Int64
+	partitioned atomic.Int64
+}
+
+// New builds an injector for spec. A nil spec yields a nil injector,
+// which every method treats as "chaos off".
+func New(spec *Spec) *Injector {
+	if spec == nil {
+		return nil
+	}
+	in := &Injector{spec: *spec, now: time.Now}
+	in.start = in.now()
+	return in
+}
+
+// decide draws the decision for request ordinal k. Each ordinal gets its
+// own derived stream, so the timeline is insensitive to how requests
+// interleave across goroutines.
+func (in *Injector) decide(k uint64) (Decision, *rng.Stream) {
+	r := rng.New(rng.DeriveSeed(rng.DeriveSeed(in.spec.Seed, chaosStreamID), k))
+	var d Decision
+	d.Drop = r.Bernoulli(in.spec.Drop)
+	if r.Bernoulli(in.spec.DelayP) {
+		d.Delay = time.Duration((r.Float64() + 0x1p-53) * float64(in.spec.Delay))
+	}
+	d.Dup = r.Bernoulli(in.spec.Dup)
+	d.Corrupt = r.Bernoulli(in.spec.Corrupt)
+	return d, r
+}
+
+// next consumes the next request ordinal and returns its decision plus
+// the stream positioned for any follow-up draws (corrupt position).
+func (in *Injector) next() (Decision, *rng.Stream) {
+	return in.decide(in.seq.Add(1) - 1)
+}
+
+// Timeline returns the decisions for ordinals [from, from+n) without
+// consuming the injector's sequence — the surface the determinism tests
+// assert on.
+func (in *Injector) Timeline(from uint64, n int) []Decision {
+	out := make([]Decision, n)
+	for i := range out {
+		out[i], _ = in.decide(from + uint64(i))
+	}
+	return out
+}
+
+// inPartition reports whether t falls inside the periodic outage window.
+func (in *Injector) inPartition(t time.Time) bool {
+	if in.spec.PartitionEvery <= 0 || in.spec.PartitionFor <= 0 {
+		return false
+	}
+	return t.Sub(in.start)%in.spec.PartitionEvery < in.spec.PartitionFor
+}
+
+// errDropped is the synthetic network error for dropped/partitioned
+// client requests. It is deliberately not a net.Error: the service client
+// must not auto-retry non-idempotent calls through it.
+var errDropped = errors.New("chaos: request dropped")
+
+// Transport wraps base with the client-side faults. Nil injector: returns
+// base unchanged. Nil base: wraps http.DefaultTransport.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if in == nil {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{in: in, base: base}
+}
+
+type transport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.in
+	if in.inPartition(in.now()) {
+		in.partitioned.Add(1)
+		drainClose(req.Body)
+		return nil, fmt.Errorf("%w (partition)", errDropped)
+	}
+	d, r := in.next()
+	if d.Drop {
+		in.dropped.Add(1)
+		drainClose(req.Body)
+		return nil, errDropped
+	}
+	if d.Delay > 0 {
+		in.delayed.Add(1)
+		select {
+		case <-req.Context().Done():
+			drainClose(req.Body)
+			return nil, req.Context().Err()
+		case <-time.After(d.Delay):
+		}
+	}
+	if d.Corrupt {
+		if creq := corruptBody(req, r); creq != nil {
+			in.corrupted.Add(1)
+			req = creq
+		}
+	}
+	if d.Dup && req.GetBody != nil {
+		// The duplicate fires first, synchronously, so the timeline stays
+		// deterministic; its response is discarded.
+		if body, err := req.GetBody(); err == nil {
+			dup := req.Clone(req.Context())
+			dup.Body = body
+			if resp, err := t.base.RoundTrip(dup); err == nil {
+				drainClose(resp.Body)
+			}
+			in.duplicated.Add(1)
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// corruptBody returns a copy of req whose body has one bit flipped at a
+// position drawn from r, or nil when the body is absent or not replayable.
+func corruptBody(req *http.Request, r *rng.Stream) *http.Request {
+	if req.GetBody == nil {
+		return nil
+	}
+	rc, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || len(data) == 0 {
+		return nil
+	}
+	data[r.Intn(len(data))] ^= 1 << r.Intn(8)
+	drainClose(req.Body)
+	creq := req.Clone(req.Context())
+	creq.Body = io.NopCloser(bytes.NewReader(data))
+	creq.ContentLength = int64(len(data))
+	creq.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}
+	return creq
+}
+
+func drainClose(body io.ReadCloser) {
+	if body != nil {
+		_, _ = io.Copy(io.Discard, body)
+		body.Close()
+	}
+}
+
+// Middleware wraps next with the server-side faults: partition answers
+// 503 + Retry-After (a coordinator refusing service), drop aborts the
+// connection mid-response (the client sees a network error), delay stalls
+// the handler. Duplication and corruption stay client-side — a server
+// cannot re-send a request to itself. Nil injector: returns next
+// unchanged.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	if in == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if in.inPartition(in.now()) {
+			in.partitioned.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"chaos: partitioned"}`, http.StatusServiceUnavailable)
+			return
+		}
+		d, _ := in.next()
+		if d.Drop {
+			in.dropped.Add(1)
+			panic(http.ErrAbortHandler)
+		}
+		if d.Delay > 0 {
+			in.delayed.Add(1)
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(d.Delay):
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Injected returns the total number of faults applied so far (tests use
+// it to prove a chaos run actually exercised the injector).
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.dropped.Load() + in.delayed.Load() + in.duplicated.Load() +
+		in.corrupted.Load() + in.partitioned.Load()
+}
+
+// WriteMetrics emits the injector's fault counters in Prometheus text
+// format. Nil injector: no output.
+func (in *Injector) WriteMetrics(w io.Writer) error {
+	if in == nil {
+		return nil
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP simd_chaos_injected_total Wire faults injected, by class.\n")
+	p("# TYPE simd_chaos_injected_total counter\n")
+	p("simd_chaos_injected_total{fault=\"drop\"} %d\n", in.dropped.Load())
+	p("simd_chaos_injected_total{fault=\"delay\"} %d\n", in.delayed.Load())
+	p("simd_chaos_injected_total{fault=\"dup\"} %d\n", in.duplicated.Load())
+	p("simd_chaos_injected_total{fault=\"corrupt\"} %d\n", in.corrupted.Load())
+	p("simd_chaos_injected_total{fault=\"partition\"} %d\n", in.partitioned.Load())
+	return err
+}

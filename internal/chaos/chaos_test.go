@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("seed=7,drop=0.1,delay=0.2:20ms,dup=0.1,corrupt=0.05,partition=1500ms/6s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Spec{
+		Seed: 7, Drop: 0.1, DelayP: 0.2, Delay: 20 * time.Millisecond,
+		Dup: 0.1, Corrupt: 0.05,
+		PartitionFor: 1500 * time.Millisecond, PartitionEvery: 6 * time.Second,
+	}
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("parsed %+v, want %+v", spec, want)
+	}
+	if got, err := ParseSpec(spec.String()); err != nil || !reflect.DeepEqual(got, spec) {
+		t.Fatalf("String round-trip: %+v, %v", got, err)
+	}
+
+	if spec, err := ParseSpec(""); spec != nil || err != nil {
+		t.Fatalf("empty spec: got %+v, %v", spec, err)
+	}
+
+	for _, bad := range []string{
+		"drop", "drop=2", "drop=-0.1", "drop=x", "seed=-1",
+		"delay=0.5", "delay=0.5:0s", "delay=2:10ms",
+		"partition=2s", "partition=0s/2s", "partition=2s/2s", "partition=3s/2s",
+		"nope=1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDeterministicTimeline is the acceptance assertion that the same
+// chaos seed reproduces the same fault schedule, independent of injector
+// instance, and that different seeds diverge.
+func TestDeterministicTimeline(t *testing.T) {
+	spec := &Spec{Seed: 42, Drop: 0.2, DelayP: 0.3, Delay: 50 * time.Millisecond, Dup: 0.2, Corrupt: 0.2}
+	a, b := New(spec), New(spec)
+	ta, tb := a.Timeline(0, 500), b.Timeline(0, 500)
+	if !reflect.DeepEqual(ta, tb) {
+		t.Fatal("same spec produced different timelines")
+	}
+	var faults int
+	for _, d := range ta {
+		if d.Drop || d.Delay > 0 || d.Dup || d.Corrupt {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(ta) {
+		t.Fatalf("degenerate timeline: %d/%d ordinals faulted", faults, len(ta))
+	}
+
+	other := *spec
+	other.Seed = 43
+	if reflect.DeepEqual(New(&other).Timeline(0, 500), ta) {
+		t.Fatal("different seeds produced identical timelines")
+	}
+
+	// Consuming the live sequence must match the precomputed timeline.
+	for i, want := range ta[:20] {
+		got, _ := a.next()
+		if got != want {
+			t.Fatalf("ordinal %d: live decision %+v != timeline %+v", i, got, want)
+		}
+	}
+}
+
+// TestNilInjectorIsIdentity pins the no-op guarantee: a nil injector must
+// return the wrapped transport/handler unchanged, not a pass-through
+// wrapper.
+func TestNilInjectorIsIdentity(t *testing.T) {
+	var in *Injector
+	if got := in.Transport(http.DefaultTransport); got != http.RoundTripper(http.DefaultTransport) {
+		t.Fatal("nil injector wrapped the transport")
+	}
+	next := http.NewServeMux()
+	if got := in.Middleware(next); got != http.Handler(next) {
+		t.Fatal("nil injector wrapped the handler")
+	}
+	if in.Injected() != 0 {
+		t.Fatal("nil injector reports injections")
+	}
+	var buf bytes.Buffer
+	if err := in.WriteMetrics(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil injector wrote metrics")
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil) should be a nil injector")
+	}
+}
+
+func postThrough(t *testing.T, rt http.RoundTripper, url, body string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestTransportDrop(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { calls++ }))
+	defer srv.Close()
+	in := New(&Spec{Seed: 1, Drop: 1})
+	if _, err := postThrough(t, in.Transport(nil), srv.URL, "x"); err == nil {
+		t.Fatal("dropped request returned no error")
+	}
+	if calls != 0 {
+		t.Fatalf("dropped request reached the server %d times", calls)
+	}
+	if in.dropped.Load() != 1 {
+		t.Fatalf("dropped counter %d", in.dropped.Load())
+	}
+}
+
+func TestTransportDupAndCorrupt(t *testing.T) {
+	var mu sync.Mutex
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, string(b))
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	in := New(&Spec{Seed: 1, Dup: 1})
+	resp, err := postThrough(t, in.Transport(nil), srv.URL, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != "hello" || bodies[1] != "hello" {
+		t.Fatalf("dup=1 delivered bodies %q", bodies)
+	}
+
+	bodies = nil
+	in = New(&Spec{Seed: 1, Corrupt: 1})
+	resp, err = postThrough(t, in.Transport(nil), srv.URL, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 1 || bodies[0] == "hello" || len(bodies[0]) != len("hello") {
+		t.Fatalf("corrupt=1 delivered bodies %q (want one same-length, different body)", bodies)
+	}
+	if in.corrupted.Load() != 1 {
+		t.Fatalf("corrupted counter %d", in.corrupted.Load())
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	in := New(&Spec{Seed: 1, PartitionFor: 2 * time.Second, PartitionEvery: 10 * time.Second})
+	base := in.start
+	clock := base
+	in.now = func() time.Time { return clock }
+
+	// Server side: 503 + Retry-After inside the window, pass-through outside.
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	status := func() int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/fleet/v1/poll", nil))
+		return rec.Code
+	}
+	if got := status(); got != http.StatusServiceUnavailable {
+		t.Fatalf("t=0 (inside outage): status %d", got)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/fleet/v1/poll", nil))
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("partition 503 carries no Retry-After")
+	}
+	clock = base.Add(3 * time.Second)
+	if got := status(); got != http.StatusOK {
+		t.Fatalf("t=3s (outside outage): status %d", got)
+	}
+	clock = base.Add(10*time.Second + 500*time.Millisecond)
+	if got := status(); got != http.StatusServiceUnavailable {
+		t.Fatalf("t=10.5s (next period's outage): status %d", got)
+	}
+
+	// Client side: synthetic error during the window.
+	clock = base
+	if _, err := postThrough(t, in.Transport(nil), "http://127.0.0.1:0", "x"); err == nil {
+		t.Fatal("partitioned client request returned no error")
+	}
+}

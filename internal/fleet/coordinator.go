@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +101,7 @@ type Coordinator struct {
 	reg        *registry
 	lt         *leaseTable
 	dispatches map[string]*dispatch // by job id
+	binding    Binding              // set once via Bind, before serving
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -109,6 +112,56 @@ type Coordinator struct {
 	duplicates atomic.Int64 // idempotent duplicate results discarded
 	failures   atomic.Int64 // dispatches failed (worker error or attempts cap)
 	polls      atomic.Int64
+
+	// Durability counters (lease journal, restart recovery).
+	journaledLeases atomic.Int64 // lease grants journaled
+	adopted         atomic.Int64 // leases re-adopted from the journal after a restart
+	lateDeliveries  atomic.Int64 // results accepted on adopted leases
+	redispatched    atomic.Int64 // already-delivered seeds freshly re-leased (must stay 0)
+	abandoned       atomic.Int64 // leases abandoned at the attempt cap
+}
+
+// Binding connects the coordinator to the service's durability layer:
+// lease-lifecycle journaling, replay gating, and job-state lookups for
+// deliveries that race a restart. *service.Service implements it; a nil
+// binding (tests, journal-less daemons) disables all three.
+//
+// Lock order: the coordinator calls Binding methods while holding its own
+// mutex, and the service methods take service locks — so service code must
+// never call into the coordinator while holding s.mu (it doesn't: Dispatch
+// and ExtraMetrics both run unlocked).
+type Binding interface {
+	// AppendLease journals one lease-lifecycle record.
+	AppendLease(rec service.LeaseRecord)
+	// Replayed reports whether journal replay has finished; until then the
+	// wire answers 503 + Retry-After (handing out work that is about to be
+	// adopted would recompute it).
+	Replayed() bool
+	// JobState resolves a job id to its current state, distinguishing "job
+	// recovering, not yet re-dispatched" from "job gone".
+	JobState(id string) (service.State, bool)
+}
+
+// Bind connects the service's durability layer. Call before the wire
+// routes start serving.
+func (c *Coordinator) Bind(b Binding) {
+	c.mu.Lock()
+	c.binding = b
+	c.mu.Unlock()
+}
+
+// appendLeaseRec journals one lease-lifecycle record. Caller holds c.mu.
+func (c *Coordinator) appendLeaseRec(op service.LeaseOp, l *lease, results []service.SeedResult) {
+	if c.binding == nil {
+		return
+	}
+	c.binding.AppendLease(service.LeaseRecord{
+		Op: op, Job: l.d.job.ID, Lease: l.id, Node: l.node,
+		Seeds: l.seeds, Attempt: l.attempt, Results: results,
+	})
+	if op == service.LeaseGrant {
+		c.journaledLeases.Add(1)
+	}
 }
 
 // NewCoordinator starts a coordinator, including its lease/node expiry
@@ -154,16 +207,104 @@ func (c *Coordinator) Dispatch(ctx context.Context, job service.DispatchJob, emi
 		merge:  newMerge(job.Seeds),
 		notify: make(chan struct{}, 1),
 	}
-	ranges := splitSeeds(job.Seeds, c.cfg.LeaseSeeds)
-	leases := make([]*lease, len(ranges))
-	c.mu.Lock()
-	for i, seeds := range ranges {
-		leases[i] = &lease{id: leaseID(job.ID, i), d: d, seeds: seeds}
+
+	// Fold in recovery state from the lease journal before cutting fresh
+	// leases: banked results go straight into the merge (already computed —
+	// never again), and the crash's in-flight leases are re-adopted under
+	// their original ids so their owners' heartbeats and late deliveries
+	// land on live leases instead of being cancelled.
+	preReleased, _, _, bankErr := d.merge.add(job.Banked)
+	if bankErr != nil {
+		return fmt.Errorf("fleet: job %s recovered banked results are inconsistent: %w", job.ID, bankErr)
 	}
+	bankedSet := make(map[uint64]bool, len(job.Banked))
+	claimed := make(map[uint64]bool, len(job.Seeds))
+	for _, sr := range job.Banked {
+		bankedSet[sr.Seed] = true
+		claimed[sr.Seed] = true
+	}
+	var adopted []*lease
+	maxIdx := -1
+	for _, rl := range job.Leases {
+		// The service's replay already normalized these (in-job, disjoint,
+		// unseen); re-check here so the dispatcher's invariants don't rest on
+		// the caller.
+		bad := len(rl.Seeds) == 0
+		within := make(map[uint64]bool, len(rl.Seeds))
+		for _, s := range rl.Seeds {
+			if _, inJob := d.merge.index[s]; !inJob || claimed[s] || within[s] {
+				bad = true
+				break
+			}
+			within[s] = true
+		}
+		if bad {
+			continue
+		}
+		for _, s := range rl.Seeds {
+			claimed[s] = true
+		}
+		l := &lease{id: rl.ID, d: d, seeds: rl.Seeds, attempt: rl.Attempt, recovered: true}
+		if rl.Node != "" {
+			l.node = rl.Node
+			l.active = true
+		}
+		adopted = append(adopted, l)
+		if idx, ok := leaseIndex(job.ID, rl.ID); ok && idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	var rest []uint64
+	for _, s := range job.Seeds {
+		if !claimed[s] {
+			rest = append(rest, s)
+		}
+	}
+	ranges := splitSeeds(rest, c.cfg.LeaseSeeds)
+	// Fresh lease ids continue above the highest adopted index so ids stay
+	// unique across the restart.
+	leases := make([]*lease, len(ranges))
+	for i, seeds := range ranges {
+		leases[i] = &lease{id: leaseID(job.ID, maxIdx+1+i), d: d, seeds: seeds}
+		for _, s := range seeds {
+			if bankedSet[s] {
+				// Structurally unreachable (banked seeds are claimed); the
+				// counter exists so a regression shows up in /metrics and the
+				// restart e2e, not in silently burned CPU.
+				c.redispatched.Add(1)
+			}
+		}
+	}
+
+	c.mu.Lock()
+	now := time.Now()
+	for _, l := range adopted {
+		if l.active {
+			l.deadline = now.Add(c.cfg.LeaseTTL)
+		}
+		l.journaledAt = now
+	}
+	c.lt.install(adopted)
 	c.dispatches[job.ID] = d
 	c.lt.add(leases)
+	for _, l := range adopted {
+		c.appendLeaseRec(service.LeaseGrant, l, nil)
+	}
+	c.adopted.Add(int64(len(adopted)))
+	d.released = append(d.released, preReleased...)
+	if d.merge.done() {
+		d.done = true
+	}
+	if len(d.released) > 0 || d.done {
+		d.wake()
+	}
 	c.mu.Unlock()
-	c.logf("fleet: job %s dispatched: %d seeds in %d leases", job.ID, len(job.Seeds), len(leases))
+	if len(job.Banked) > 0 || len(adopted) > 0 {
+		c.logf("fleet: job %s dispatched: %d seeds in %d fresh leases (+%d banked results, %d adopted leases)",
+			job.ID, len(job.Seeds), len(leases), len(job.Banked), len(adopted))
+	} else {
+		c.logf("fleet: job %s dispatched: %d seeds in %d leases", job.ID, len(job.Seeds), len(leases))
+	}
 
 	defer func() {
 		c.mu.Lock()
@@ -247,22 +388,107 @@ func (c *Coordinator) requeueAll(ls []*lease, why string) {
 			continue // a sibling lease already failed the job; its leases are dropped
 		}
 		if l.attempt+1 >= c.cfg.MaxLeaseAttempts {
-			c.fail(l.d, fmt.Errorf("fleet: lease %s failed %d attempts (last: %s)", l.id, l.attempt+1, why))
+			c.abandoned.Add(1)
+			c.appendLeaseRec(service.LeaseAbandon, l, nil)
+			c.fail(l.d, fmt.Errorf("fleet: lease %s (seeds %d..%d, %d of them) abandoned after %d attempts (last: %s)",
+				l.id, l.seeds[0], l.seeds[len(l.seeds)-1], len(l.seeds), l.attempt+1, why))
 			continue
 		}
 		c.releases.Add(1)
 		c.logf("fleet: re-leasing %s (attempt %d, %s)", l.id, l.attempt+1, why)
 		c.lt.requeue(l)
+		c.appendLeaseRec(service.LeaseRequeue, l, nil)
 	}
 }
 
 // Routes mounts the wire protocol on mux. The signature matches the
 // daemon's Routes hook, so cmd/simd passes it straight through.
 func (c *Coordinator) Routes(mux *http.ServeMux) {
-	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
-	mux.HandleFunc("POST "+PathPoll, c.handlePoll)
-	mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
-	mux.HandleFunc("POST "+PathResult, c.handleResult)
+	c.RoutesWith(mux, nil)
+}
+
+// RoutesWith mounts the wire protocol with every fleet handler wrapped by
+// mw — how -chaos-spec scopes server-side fault injection to the fleet
+// endpoints without touching the job API. Nil mw mounts the handlers bare.
+func (c *Coordinator) RoutesWith(mux *http.ServeMux, mw func(http.Handler) http.Handler) {
+	wrap := func(h http.HandlerFunc) http.Handler {
+		if mw == nil {
+			return h
+		}
+		if wrapped := mw(h); wrapped != nil {
+			return wrapped
+		}
+		return h
+	}
+	mux.Handle("POST "+PathRegister, wrap(c.handleRegister))
+	mux.Handle("POST "+PathPoll, wrap(c.handlePoll))
+	mux.Handle("POST "+PathHeartbeat, wrap(c.handleHeartbeat))
+	mux.Handle("POST "+PathResult, wrap(c.handleResult))
+}
+
+// errReplaying is the 503 body served while journal replay rebuilds lease
+// state ("not ready" keys the client's ErrNotReady mapping).
+var errReplaying = errors.New("fleet: coordinator not ready, journal replay in progress")
+
+// notReady answers 503 + Retry-After while journal replay is still
+// running: granting leases or judging deliveries before the recovered jobs
+// re-dispatch would recompute work that is about to be adopted.
+func (c *Coordinator) notReady(w http.ResponseWriter) bool {
+	c.mu.Lock()
+	b := c.binding
+	c.mu.Unlock()
+	if b == nil || b.Replayed() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeWireError(w, http.StatusServiceUnavailable, errReplaying)
+	return true
+}
+
+// jobOfLease recovers the job id embedded in a coordinator-assigned lease
+// id ("l-<job>-<n>"); "" if the id has a foreign shape.
+func jobOfLease(leaseID string) string {
+	s, ok := strings.CutPrefix(leaseID, "l-")
+	if !ok {
+		return ""
+	}
+	i := strings.LastIndexByte(s, '-')
+	if i <= 0 {
+		return ""
+	}
+	return s[:i]
+}
+
+// leaseIndex recovers the numeric suffix of one of jobID's lease ids.
+func leaseIndex(jobID, leaseID string) (int, bool) {
+	s, ok := strings.CutPrefix(leaseID, "l-"+jobID+"-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// awaitingAdoption reports whether leaseID belongs to a job that is
+// recovering (known to the service, non-terminal) but not yet re-dispatched
+// here — the window between journal replay and the scheduler re-running the
+// job. Caller holds c.mu.
+func (c *Coordinator) awaitingAdoption(leaseID string) bool {
+	if c.binding == nil {
+		return false
+	}
+	jobID := jobOfLease(leaseID)
+	if jobID == "" {
+		return false
+	}
+	if _, dispatched := c.dispatches[jobID]; dispatched {
+		return false // job live here; an unknown lease is genuinely stale
+	}
+	st, known := c.binding.JobState(jobID)
+	return known && !st.Terminal()
 }
 
 // readBody slurps a bounded request body.
@@ -320,6 +546,9 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	if c.notReady(w) {
+		return
+	}
 	data, ok := readBody(w, r)
 	if !ok {
 		return
@@ -341,6 +570,8 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	l := c.lt.next(req.NodeID, now.Add(c.cfg.LeaseTTL))
 	var resp PollResponse
 	if l != nil {
+		l.journaledAt = now
+		c.appendLeaseRec(service.LeaseGrant, l, nil)
 		resp.Lease = &WireLease{
 			ID:          l.id,
 			Job:         l.d.job.ID,
@@ -349,12 +580,16 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 			Seeds:       l.seeds,
 			Attempt:     l.attempt,
 		}
+		resp.Lease.Seal()
 	}
 	c.mu.Unlock()
 	writeWireJSON(w, resp)
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if c.notReady(w) {
+		return
+	}
 	data, ok := readBody(w, r)
 	if !ok {
 		return
@@ -384,12 +619,40 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 			n.slots = req.Slots
 		}
 	}
-	cancel := c.lt.renew(req.NodeID, req.Leases, now.Add(c.cfg.LeaseTTL))
+	renewed, cancel := c.lt.renew(req.NodeID, req.Leases, now.Add(c.cfg.LeaseTTL))
+	for _, l := range renewed {
+		if now.Sub(l.journaledAt) >= c.cfg.LeaseTTL {
+			l.journaledAt = now
+			c.appendLeaseRec(service.LeaseRenew, l, nil)
+		}
+	}
+	if len(cancel) > 0 {
+		// Grace for the replay→re-dispatch window: a lease the table doesn't
+		// know but whose job is still recovering is about to be adopted —
+		// cancelling it would abort a worker mid-computation and force a
+		// recompute, exactly what the lease journal exists to prevent.
+		kept := cancel[:0]
+		for _, id := range cancel {
+			if c.awaitingAdoption(id) {
+				continue
+			}
+			kept = append(kept, id)
+		}
+		cancel = kept
+	}
 	c.mu.Unlock()
 	writeWireJSON(w, HeartbeatResponse{Cancel: cancel})
 }
 
+// errAwaitingAdoption is the 503 body for a delivery whose lease belongs
+// to a job that is recovering but not yet re-dispatched; the worker's
+// spool redelivers after adoption ("not ready" keys ErrNotReady).
+var errAwaitingAdoption = errors.New("fleet: job not ready, lease adoption in progress")
+
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	if c.notReady(w) {
+		return
+	}
 	data, ok := readBody(w, r)
 	if !ok {
 		return
@@ -409,7 +672,16 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	l := c.lt.complete(req.LeaseID)
 	if l == nil || l.d.done {
+		if l == nil && c.awaitingAdoption(req.LeaseID) {
+			// The lease will exist again once the recovered job re-dispatches;
+			// acking now as a duplicate would discard computed results.
+			c.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			writeWireError(w, http.StatusServiceUnavailable, errAwaitingAdoption)
+			return
+		}
 		// Already merged via a re-lease, or the job is gone: idempotent OK.
+		c.duplicates.Add(int64(len(req.Results)))
 		c.mu.Unlock()
 		writeWireJSON(w, ResultResponse{Duplicates: len(req.Results)})
 		return
@@ -423,9 +695,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeWireJSON(w, ResultResponse{})
 		return
 	}
-	released, dups, mergeErr := d.merge.add(req.Results)
-	if mergeErr == nil && len(req.Results)-dups != len(l.seeds) {
-		mergeErr = fmt.Errorf("fleet: lease %s delivered %d new results for %d leased seeds", l.id, len(req.Results)-dups, len(l.seeds))
+	released, fresh, dups, mergeErr := d.merge.add(req.Results)
+	if mergeErr == nil && len(fresh) != len(l.seeds) && len(fresh)+dups != len(l.seeds) {
+		mergeErr = fmt.Errorf("fleet: lease %s delivered %d new results for %d leased seeds", l.id, len(fresh), len(l.seeds))
 	}
 	if mergeErr != nil {
 		c.fail(d, mergeErr)
@@ -433,9 +705,18 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeWireJSON(w, ResultResponse{})
 		return
 	}
-	c.merged.Add(int64(len(req.Results) - dups))
+	if len(fresh) > 0 {
+		// Journal before acking: an acked delivery must survive a coordinator
+		// crash without recomputing, even while it sits in the merge ahead of
+		// the released prefix.
+		c.appendLeaseRec(service.LeaseResult, l, fresh)
+	}
+	if l.recovered {
+		c.lateDeliveries.Add(int64(len(fresh)))
+	}
+	c.merged.Add(int64(len(fresh)))
 	c.duplicates.Add(int64(dups))
-	n.recordResult(len(req.Results)-dups, now)
+	n.recordResult(len(fresh), now)
 	d.released = append(d.released, released...)
 	if d.merge.done() {
 		d.done = true
@@ -444,7 +725,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		d.wake()
 	}
 	c.mu.Unlock()
-	writeWireJSON(w, ResultResponse{Merged: len(req.Results) - dups, Duplicates: dups})
+	writeWireJSON(w, ResultResponse{Merged: len(fresh), Duplicates: dups})
 }
 
 // Nodes snapshots the registry (tests, introspection).

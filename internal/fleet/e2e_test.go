@@ -15,11 +15,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -75,8 +77,16 @@ var buildSimd = sync.OnceValues(func() (string, error) {
 // "listening on" line to learn the bound address.
 func startSimd(t *testing.T, bin string, args ...string) *simdProc {
 	t.Helper()
+	return startSimdAt(t, bin, "127.0.0.1:0", args...)
+}
+
+// startSimdAt is startSimd with an explicit listen address — the
+// coordinator-restart e2e needs the revived process on the same address so
+// the surviving workers reconnect without reconfiguration.
+func startSimdAt(t *testing.T, bin, addr string, args ...string) *simdProc {
+	t.Helper()
 	p := &simdProc{out: &lockedBuffer{}, done: make(chan error, 1)}
-	p.cmd = exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-ttl", "10m"}, args...)...)
+	p.cmd = exec.Command(bin, append([]string{"-addr", addr, "-ttl", "10m"}, args...)...)
 	stdout, err := p.cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +167,48 @@ func scrapeMetrics(t *testing.T, baseURL string) string {
 	defer resp.Body.Close()
 	data, _ := io.ReadAll(resp.Body)
 	return string(data)
+}
+
+// freePort reserves a listen address and releases it, so a child process can
+// be started (and later restarted) on a known port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// metricValue extracts an unlabelled metric's value from a /metrics scrape.
+func metricValue(scrape, name string) (float64, bool) {
+	for _, line := range strings.Split(scrape, "\n") {
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok || len(rest) == 0 || rest[0] != ' ' {
+			continue
+		}
+		if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// waitMetricAtLeast polls /metrics until name's value reaches min.
+func waitMetricAtLeast(t *testing.T, baseURL, name string, min float64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		last = scrapeMetrics(t, baseURL)
+		if v, ok := metricValue(last, name); ok && v >= min {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("metric %s never reached %g at %s; last scrape:\n%s", name, min, baseURL, last)
 }
 
 // waitMetric polls /metrics until the given line fragment appears.
@@ -257,4 +309,96 @@ func TestFleetSurvivesWorkerKill9(t *testing.T) {
 	}
 
 	_ = wb // wb stays up the whole test; cleanup kills it
+}
+
+// TestFleetSurvivesCoordinatorKill9 SIGKILLs the coordinator mid-job — after
+// at least one result is banked in its journal and while a worker holds an
+// in-flight lease — then restarts it on the same address with the same
+// journal directory. The revived coordinator must adopt the in-flight leases,
+// accept the late deliveries the workers spooled through the outage, and
+// finish the job bit-identical to a single-node run without re-dispatching a
+// single already-delivered seed.
+func TestFleetSurvivesCoordinatorKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills child processes")
+	}
+	bin, err := buildSimd()
+	if err != nil {
+		t.Skipf("cannot build simd: %v", err)
+	}
+
+	jdir := t.TempDir()
+	caddr := freePort(t)
+	coordArgs := []string{"-coordinator", "-journal-dir", jdir,
+		"-lease-seeds", "1", "-lease-ttl", "8s", "-node-ttl", "8s", "-fleet-poll", "50ms"}
+	coord := startSimdAt(t, bin, caddr, coordArgs...)
+	waitReady(t, coord.baseURL())
+	wa := startSimd(t, bin, "-join", coord.baseURL(), "-node-id", "ck-a", "-worker-slots", "1")
+	wb := startSimd(t, bin, "-join", coord.baseURL(), "-node-id", "ck-b", "-worker-slots", "1")
+	waitMetric(t, coord.baseURL(), `simd_fleet_nodes{state="alive"} 2`, 15*time.Second)
+
+	// Full-horizon seeds so the kill window (a worker mid-lease) stays open.
+	spec := service.JobSpec{
+		N: 2000, H: 1, Sources1: 1, Delta: 0.2,
+		Protocol: "voter", Backend: "exact",
+		MaxRounds: 3000, StabilityWindow: 3000,
+		Seeds: []uint64{1, 2, 3, 4, 5, 6},
+	}
+	want := directResults(t, spec, spec.Seeds)
+
+	client := service.NewClient(coord.baseURL())
+	ctx := context.Background()
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit: %v\n%s", err, coord.out.String())
+	}
+
+	// Kill once the journal holds at least one delivered result (results are
+	// journaled before they are acked) and a worker is executing a lease.
+	waitMetricAtLeast(t, coord.baseURL(), "simd_fleet_results_merged_total", 1, 120*time.Second)
+	waitMetric(t, wa.baseURL(), "simd_fleet_worker_busy 1", 60*time.Second)
+	coord.kill9(t)
+
+	coord2 := startSimdAt(t, bin, caddr, coordArgs...)
+	waitReady(t, coord2.baseURL())
+
+	waitCtx, cancelWait := context.WithTimeout(ctx, 240*time.Second)
+	defer cancelWait()
+	final, err := client.Wait(waitCtx, st.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait after coordinator restart: %v\ncoordinator:\n%s", err, coord2.out.String())
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("job after coordinator restart ended %s (%s)\ncoordinator:\n%s",
+			final.State, final.Error, coord2.out.String())
+	}
+	if !reflect.DeepEqual(final.Results, want) {
+		t.Fatalf("results after coordinator restart differ from single-node control:\n got %+v\nwant %+v",
+			final.Results, want)
+	}
+
+	m := scrapeMetrics(t, coord2.baseURL())
+	if !strings.Contains(m, "simd_fleet_seeds_redispatched_total 0") {
+		t.Errorf("already-delivered seeds were re-dispatched after restart:\n%s", m)
+	}
+	if v, ok := metricValue(m, "simd_fleet_leases_adopted_total"); !ok || v < 1 {
+		t.Errorf("restarted coordinator adopted no journaled leases (got %g)\n%s", v, coord2.out.String())
+	}
+	if v, ok := metricValue(m, "simd_fleet_late_deliveries_total"); !ok || v < 1 {
+		t.Errorf("no late deliveries landed on adopted leases (got %g)\n%s", v, coord2.out.String())
+	}
+
+	// Zero recompute: across both workers exactly len(Seeds) seeds ran.
+	va, oka := metricValue(scrapeMetrics(t, wa.baseURL()), "simd_fleet_worker_seeds_total")
+	vb, okb := metricValue(scrapeMetrics(t, wb.baseURL()), "simd_fleet_worker_seeds_total")
+	if !oka || !okb {
+		t.Fatal("worker seed counters missing from /metrics")
+	}
+	if int(va+vb) != len(spec.Seeds) {
+		t.Errorf("workers computed %d seeds for a %d-seed job (recompute after restart)",
+			int(va+vb), len(spec.Seeds))
+	}
+	if !strings.Contains(coord2.out.String(), "to adopt") {
+		t.Errorf("restarted coordinator log shows no lease adoption:\n%s", coord2.out.String())
+	}
 }

@@ -39,13 +39,17 @@ func sr(seed uint64) service.SeedResult {
 func TestMergeOrderFreeAndIdempotent(t *testing.T) {
 	m := newMerge([]uint64{5, 7, 9, 11})
 
-	// Out-of-order arrival: nothing releases until the prefix is closed.
-	rel, dups, err := m.add([]service.SeedResult{sr(9), sr(7)})
+	// Out-of-order arrival: nothing releases until the prefix is closed,
+	// but both results are fresh to the merge.
+	rel, fresh, dups, err := m.add([]service.SeedResult{sr(9), sr(7)})
 	if err != nil || dups != 0 || len(rel) != 0 {
 		t.Fatalf("add out-of-order: rel=%v dups=%d err=%v", rel, dups, err)
 	}
+	if len(fresh) != 2 || fresh[0].Seed != 9 || fresh[1].Seed != 7 {
+		t.Fatalf("fresh = %v, want seeds [9 7]", fresh)
+	}
 	// The head seed arrives: the contiguous run 5,7,9 releases in order.
-	rel, _, err = m.add([]service.SeedResult{sr(5)})
+	rel, _, _, err = m.add([]service.SeedResult{sr(5)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,10 +63,14 @@ func TestMergeOrderFreeAndIdempotent(t *testing.T) {
 		t.Fatalf("pending = %v, want [11]", p)
 	}
 
-	// Duplicate delivery (a re-leased range reporting twice) is discarded.
-	rel, dups, err = m.add([]service.SeedResult{sr(7), sr(11)})
+	// Duplicate delivery (a re-leased range reporting twice) is discarded;
+	// only the new seed counts as fresh.
+	rel, fresh, dups, err = m.add([]service.SeedResult{sr(7), sr(11)})
 	if err != nil || dups != 1 {
 		t.Fatalf("duplicate add: dups=%d err=%v", dups, err)
+	}
+	if len(fresh) != 1 || fresh[0].Seed != 11 {
+		t.Fatalf("fresh = %v, want seeds [11]", fresh)
 	}
 	if len(rel) != 1 || rel[0].Seed != 11 {
 		t.Fatalf("released %v, want [11]", rel)
@@ -72,7 +80,7 @@ func TestMergeOrderFreeAndIdempotent(t *testing.T) {
 	}
 
 	// A result for a foreign seed is a protocol violation, not a silent drop.
-	if _, _, err := m.add([]service.SeedResult{sr(42)}); err == nil {
+	if _, _, _, err := m.add([]service.SeedResult{sr(42)}); err == nil {
 		t.Fatal("foreign seed merged without error")
 	}
 }
@@ -97,11 +105,14 @@ func TestLeaseTableLifecycle(t *testing.T) {
 
 	// Renewal extends only leases the caller still owns; everything else
 	// comes back as a cancel instruction.
-	cancel := lt.renew("wa", []string{"l-j-000", "l-j-001", "l-gone"}, now.Add(2*time.Second))
+	renewed, cancel := lt.renew("wa", []string{"l-j-000", "l-j-001", "l-gone"}, now.Add(2*time.Second))
 	if !reflect.DeepEqual(cancel, []string{"l-j-001", "l-gone"}) {
 		t.Fatalf("renew cancel = %v", cancel)
 	}
-	if got := lt.renew("wb", []string{"l-j-000"}, now); len(got) != 1 {
+	if len(renewed) != 1 || renewed[0].id != "l-j-000" {
+		t.Fatalf("renewed = %v, want [l-j-000]", renewed)
+	}
+	if _, got := lt.renew("wb", []string{"l-j-000"}, now); len(got) != 1 {
 		t.Fatal("renew from a non-owner extended the lease")
 	}
 

@@ -23,6 +23,13 @@ type lease struct {
 	deadline time.Time
 	attempt  int
 	active   bool
+
+	// recovered marks a lease re-adopted from the journal after a
+	// coordinator restart; its deliveries count as late deliveries.
+	recovered bool
+	// journaledAt is when the lease's state last hit the journal; heartbeat
+	// renewals re-journal at most once per TTL.
+	journaledAt time.Time
 }
 
 // leaseTable holds every live lease of every dispatched job: a FIFO pending
@@ -63,6 +70,20 @@ func (t *leaseTable) add(ls []*lease) {
 	}
 }
 
+// install registers journal-recovered leases without granting anything:
+// active ones (a node owned them at the crash) go straight into the id
+// index — their owners keep renewing them via heartbeat and deliver as
+// usual — while ownerless ones re-enter the pending queue with their
+// attempt count preserved.
+func (t *leaseTable) install(ls []*lease) {
+	for _, l := range ls {
+		t.byID[l.id] = l
+		if !l.active {
+			t.pending = append(t.pending, l)
+		}
+	}
+}
+
 // next pops the oldest pending lease and marks it active on the node with
 // the given deadline. Nil when no work is pending.
 func (t *leaseTable) next(nodeID string, deadline time.Time) *lease {
@@ -79,9 +100,10 @@ func (t *leaseTable) next(nodeID string, deadline time.Time) *lease {
 }
 
 // renew extends the deadlines of the listed leases where the reporting node
-// still owns them, and returns the ids the node should abort: leases it
-// claims to run that were re-leased elsewhere, finished, or cancelled.
-func (t *leaseTable) renew(nodeID string, ids []string, deadline time.Time) (cancel []string) {
+// still owns them (returned as renewed, for lease journaling), and returns
+// the ids the node should abort: leases it claims to run that were
+// re-leased elsewhere, finished, or cancelled.
+func (t *leaseTable) renew(nodeID string, ids []string, deadline time.Time) (renewed []*lease, cancel []string) {
 	for _, id := range ids {
 		l := t.byID[id]
 		if l == nil || !l.active || l.node != nodeID {
@@ -89,8 +111,9 @@ func (t *leaseTable) renew(nodeID string, ids []string, deadline time.Time) (can
 			continue
 		}
 		l.deadline = deadline
+		renewed = append(renewed, l)
 	}
-	return cancel
+	return renewed, cancel
 }
 
 // complete removes a finished lease from the table. It returns the lease if

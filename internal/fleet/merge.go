@@ -44,13 +44,15 @@ func newMerge(seeds []uint64) *merge {
 }
 
 // add folds a batch of per-seed results in, returning the newly releasable
-// in-order run (possibly empty) and the number of duplicates ignored.
-func (m *merge) add(results []service.SeedResult) (released []service.SeedResult, dups int, err error) {
+// in-order run (possibly empty), the results that were new to the merge
+// (what the lease journal banks — released is a prefix-gated subset of the
+// merge, not of this batch), and the number of duplicates ignored.
+func (m *merge) add(results []service.SeedResult) (released, fresh []service.SeedResult, dups int, err error) {
 	for i := range results {
 		r := &results[i]
 		pos, ok := m.index[r.Seed]
 		if !ok {
-			return released, dups, fmt.Errorf("fleet: result for seed %d, which is not part of the job", r.Seed)
+			return released, fresh, dups, fmt.Errorf("fleet: result for seed %d, which is not part of the job", r.Seed)
 		}
 		if m.got[pos] != nil {
 			dups++
@@ -58,12 +60,13 @@ func (m *merge) add(results []service.SeedResult) (released []service.SeedResult
 		}
 		m.got[pos] = r
 		m.received++
+		fresh = append(fresh, *r)
 	}
 	for m.next < len(m.got) && m.got[m.next] != nil {
 		released = append(released, *m.got[m.next])
 		m.next++
 	}
-	return released, dups, nil
+	return released, fresh, dups, nil
 }
 
 // done reports whether every seed has been released.

@@ -78,6 +78,21 @@ func (c *Coordinator) WriteMetrics(w io.Writer) error {
 	p("# HELP simd_fleet_polls_total Work polls served.\n")
 	p("# TYPE simd_fleet_polls_total counter\n")
 	p("simd_fleet_polls_total %d\n", c.polls.Load())
+	p("# HELP simd_fleet_leases_journaled_total Lease records written to the journal (grants, renewals, results, requeues, abandons).\n")
+	p("# TYPE simd_fleet_leases_journaled_total counter\n")
+	p("simd_fleet_leases_journaled_total %d\n", c.journaledLeases.Load())
+	p("# HELP simd_fleet_leases_adopted_total In-flight leases reconstructed from the journal after a restart.\n")
+	p("# TYPE simd_fleet_leases_adopted_total counter\n")
+	p("simd_fleet_leases_adopted_total %d\n", c.adopted.Load())
+	p("# HELP simd_fleet_late_deliveries_total Seed results accepted from leases granted by a previous coordinator process.\n")
+	p("# TYPE simd_fleet_late_deliveries_total counter\n")
+	p("simd_fleet_late_deliveries_total %d\n", c.lateDeliveries.Load())
+	p("# HELP simd_fleet_seeds_redispatched_total Already-delivered seeds leased again after a restart (must stay 0; a nonzero value is a recovery bug).\n")
+	p("# TYPE simd_fleet_seeds_redispatched_total counter\n")
+	p("simd_fleet_seeds_redispatched_total %d\n", c.redispatched.Load())
+	p("# HELP simd_fleet_lease_abandoned_total Leases abandoned at the attempt cap, failing their job.\n")
+	p("# TYPE simd_fleet_lease_abandoned_total counter\n")
+	p("simd_fleet_lease_abandoned_total %d\n", c.abandoned.Load())
 	return err
 }
 
@@ -109,5 +124,25 @@ func (w *Worker) WriteMetrics(out io.Writer) error {
 	p("# HELP simd_fleet_worker_lease_errors_total Leases that failed on this node (reported to the coordinator).\n")
 	p("# TYPE simd_fleet_worker_lease_errors_total counter\n")
 	p("simd_fleet_worker_lease_errors_total %d\n", w.leaseErrs.Load())
+	state, trips := w.brk.snapshot()
+	queued, dropped := w.sp.stats()
+	p("# HELP simd_fleet_worker_breaker_state Coordinator circuit breaker state (0=closed, 1=open, 2=half-open).\n")
+	p("# TYPE simd_fleet_worker_breaker_state gauge\n")
+	p("simd_fleet_worker_breaker_state %d\n", state)
+	p("# HELP simd_fleet_worker_breaker_trips_total Times the circuit breaker opened.\n")
+	p("# TYPE simd_fleet_worker_breaker_trips_total counter\n")
+	p("simd_fleet_worker_breaker_trips_total %d\n", trips)
+	p("# HELP simd_fleet_worker_spooled_results Result deliveries parked awaiting coordinator heal.\n")
+	p("# TYPE simd_fleet_worker_spooled_results gauge\n")
+	p("simd_fleet_worker_spooled_results %d\n", queued)
+	p("# HELP simd_fleet_worker_spool_delivered_total Spooled result deliveries that eventually succeeded.\n")
+	p("# TYPE simd_fleet_worker_spool_delivered_total counter\n")
+	p("simd_fleet_worker_spool_delivered_total %d\n", w.spoolDelivered.Load())
+	p("# HELP simd_fleet_worker_spool_dropped_total Spooled result deliveries evicted (overflow or attempt cap).\n")
+	p("# TYPE simd_fleet_worker_spool_dropped_total counter\n")
+	p("simd_fleet_worker_spool_dropped_total %d\n", dropped)
+	p("# HELP simd_fleet_worker_corrupt_leases_total Leases dropped for failing their wire checksum.\n")
+	p("# TYPE simd_fleet_worker_corrupt_leases_total counter\n")
+	p("simd_fleet_worker_corrupt_leases_total %d\n", w.wireCorrupt.Load())
 	return err
 }

@@ -26,8 +26,13 @@
 package fleet
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 
 	"noisypull/internal/service"
 )
@@ -101,7 +106,45 @@ type WireLease struct {
 	// Attempt counts prior leases of this range (0 = first); re-leases after
 	// node loss increment it.
 	Attempt int `json:"attempt"`
+	// Sum, when set, is an end-to-end integrity checksum over the lease's
+	// identifying fields (id, job, fingerprint, attempt, seeds). The
+	// fingerprint already pins the spec; Sum additionally defends the seed
+	// range against in-flight corruption that yields parseable-but-wrong
+	// JSON (the chaos injector's corrupt fault, a buggy middlebox). Empty
+	// skips the check, keeping older coordinators compatible.
+	Sum string `json:"sum,omitempty"`
 }
+
+// checksum computes the lease's integrity sum. The spec is covered
+// indirectly: Validate independently requires Fingerprint to match it.
+func (wl *WireLease) checksum() string {
+	h := sha256.New()
+	var buf [8]byte
+	field := func(s string) {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+	field(wl.ID)
+	field(wl.Job)
+	field(wl.Fingerprint)
+	binary.LittleEndian.PutUint64(buf[:], uint64(wl.Attempt))
+	h.Write(buf[:])
+	for _, s := range wl.Seeds {
+		binary.LittleEndian.PutUint64(buf[:], s)
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Seal stamps the integrity checksum; the coordinator calls it on every
+// lease it puts on the wire.
+func (wl *WireLease) Seal() { wl.Sum = wl.checksum() }
+
+// ErrLeaseChecksum marks a lease whose wire checksum failed: in-flight
+// corruption, not config drift. Workers drop such a lease silently — its
+// deadline re-leases the range and a clean copy arrives on a later poll —
+// instead of failing the job the way a fingerprint mismatch does.
+var ErrLeaseChecksum = errors.New("fleet: lease checksum mismatch (wire corruption)")
 
 // HeartbeatRequest is the busy-node liveness signal. Leases lists the lease
 // ids the node is still executing; the coordinator renews their deadlines.
@@ -133,7 +176,34 @@ type ResultRequest struct {
 	LeaseID string               `json:"lease_id"`
 	Error   string               `json:"error,omitempty"`
 	Results []service.SeedResult `json:"results,omitempty"`
+	// Sum, when set, is an integrity checksum over the delivery (node, lease
+	// id, error, results): a corrupted-in-flight delivery is rejected with
+	// 400 instead of merging wrong numbers, and the worker's spool redelivers
+	// the intact original. Empty skips the check.
+	Sum string `json:"sum,omitempty"`
 }
+
+// checksum computes the delivery's integrity sum. SeedResult is flat
+// integers and bools, so a decode/re-encode round trip is byte-stable and
+// both ends compute identical sums from their in-memory structs.
+func (req *ResultRequest) checksum() string {
+	h := sha256.New()
+	field := func(s string) {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+	field(req.NodeID)
+	field(req.LeaseID)
+	field(req.Error)
+	enc := json.NewEncoder(h)
+	for i := range req.Results {
+		_ = enc.Encode(&req.Results[i])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Seal stamps the integrity checksum; workers call it before delivery.
+func (req *ResultRequest) Seal() { req.Sum = req.checksum() }
 
 // ResultResponse reports what the merge did with the delivery.
 type ResultResponse struct {
@@ -284,6 +354,9 @@ func DecodeResult(data []byte) (*ResultRequest, error) {
 		}
 		seen[r.Seed] = struct{}{}
 	}
+	if req.Sum != "" && req.Sum != req.checksum() {
+		return nil, fmt.Errorf("fleet: result delivery for lease %s failed its checksum (wire corruption)", req.LeaseID)
+	}
 	return &req, nil
 }
 
@@ -302,9 +375,14 @@ func DecodeLease(data []byte) (*WireLease, error) {
 	return &wl, nil
 }
 
-// Validate checks a lease's invariants: ids, seed list, a spec that builds,
-// and a fingerprint that matches the spec.
+// Validate checks a lease's invariants: checksum (when sealed), ids, seed
+// list, a spec that builds, and a fingerprint that matches the spec. The
+// checksum runs first so corruption is classified as ErrLeaseChecksum even
+// when it also broke a structural invariant.
 func (wl *WireLease) Validate() error {
+	if wl.Sum != "" && wl.Sum != wl.checksum() {
+		return fmt.Errorf("%w: lease %q", ErrLeaseChecksum, wl.ID)
+	}
 	if err := validLeaseID(wl.ID); err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,18 @@ type WorkerConfig struct {
 	Client *service.Client
 	// Logf, if non-nil, receives worker lifecycle lines.
 	Logf func(format string, args ...any)
+
+	// RPCTimeout caps one coordinator RPC (including the client's internal
+	// retries); result deliveries get twice this. Default 10s.
+	RPCTimeout time.Duration
+	// BreakerThreshold is how many consecutive unanswered RPCs open the
+	// circuit breaker (default 5); BreakerCooldown is how long it stays open
+	// before admitting a half-open probe (default 3s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// SpoolCap bounds the queue of computed-but-undelivered result reports
+	// kept for redelivery when the coordinator heals. Default 256.
+	SpoolCap int
 }
 
 // Worker is the execution side of the fleet: it registers with the
@@ -59,12 +72,23 @@ type Worker struct {
 	pollIv  time.Duration
 	hbIv    time.Duration
 
+	// Graceful degradation: every coordinator RPC goes through post, which
+	// gates on brk and classifies the outcome; failed result deliveries park
+	// in sp until flushLoop redelivers them (healCh kicks it the moment the
+	// breaker heals, so delivery latency after an outage is one RPC, not one
+	// flush tick).
+	brk    *breaker
+	sp     *spool
+	healCh chan struct{}
+
 	// Counters for the worker-side /metrics rollup.
-	leasesDone atomic.Int64
-	seedsDone  atomic.Int64
-	leaseErrs  atomic.Int64
-	busy       atomic.Int64
-	up         atomic.Bool // last RPC to the coordinator succeeded
+	leasesDone     atomic.Int64
+	seedsDone      atomic.Int64
+	leaseErrs      atomic.Int64
+	busy           atomic.Int64
+	up             atomic.Bool // last RPC reached the coordinator
+	spoolDelivered atomic.Int64
+	wireCorrupt    atomic.Int64
 }
 
 // NewWorker builds a worker (not yet running).
@@ -87,7 +111,17 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cancel:  cancel,
 		running: make(map[string]context.CancelFunc),
 		id:      cfg.NodeID,
+		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		sp:      newSpool(cfg.SpoolCap),
+		healCh:  make(chan struct{}, 1),
 	}
+}
+
+func (w *Worker) rpcTimeout() time.Duration {
+	if w.cfg.RPCTimeout > 0 {
+		return w.cfg.RPCTimeout
+	}
+	return 10 * time.Second
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -126,9 +160,67 @@ func (w *Worker) run() {
 	if !w.register() {
 		return // ctx cancelled before the coordinator ever answered
 	}
-	w.wg.Add(1)
+	w.wg.Add(2)
 	go w.heartbeatLoop()
+	go w.flushLoop()
 	w.pollLoop()
+}
+
+// coordinatorAnswered classifies an RPC error for the circuit breaker: true
+// means the coordinator processed the request and rejected it (it is alive —
+// 4xx, queue backpressure), false means it is unreachable or unhealthy
+// (network error, 503 while draining or replaying its journal, other 5xx).
+func coordinatorAnswered(err error) bool {
+	if errors.Is(err, service.ErrNotFound) || errors.Is(err, service.ErrQueueFull) {
+		return true
+	}
+	var he *service.HTTPError
+	if errors.As(err, &he) {
+		return he.Status < 500
+	}
+	return false
+}
+
+// post is the single funnel for coordinator RPCs: per-request timeout,
+// circuit-breaker gate, and health classification of the outcome. A healed
+// breaker kicks the spool flusher so parked results deliver immediately.
+func (w *Worker) post(path string, in, out any, timeout time.Duration) error {
+	if !w.brk.allow() {
+		return errBreakerOpen
+	}
+	ctx, cancel := context.WithTimeout(w.ctx, timeout)
+	err := w.client.PostIdempotent(ctx, path, in, out)
+	cancel()
+	answered := err == nil || coordinatorAnswered(err)
+	w.up.Store(answered)
+	if answered {
+		if w.brk.success() {
+			w.logf("fleet: coordinator %s reachable again", w.cfg.Coordinator)
+			w.kickFlush()
+		}
+		return err
+	}
+	if w.ctx.Err() == nil {
+		w.brk.failure()
+	}
+	return err
+}
+
+func (w *Worker) kickFlush() {
+	select {
+	case w.healCh <- struct{}{}:
+	default:
+	}
+}
+
+// jitter spreads d over [d/2, 3d/2) so workers started together (or healing
+// from the same coordinator outage) don't synchronize their polls into
+// thundering herds.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
 }
 
 // register announces the node, retrying until it succeeds or the worker is
@@ -142,9 +234,8 @@ func (w *Worker) register() bool {
 	}
 	for {
 		var resp RegisterResponse
-		err := w.client.PostIdempotent(w.ctx, PathRegister, req, &resp)
+		err := w.post(PathRegister, req, &resp, w.rpcTimeout())
 		if err == nil {
-			w.up.Store(true)
 			w.mu.Lock()
 			w.id = resp.NodeID
 			w.pollIv = w.cfg.PollInterval
@@ -166,12 +257,11 @@ func (w *Worker) register() bool {
 				resp.NodeID, w.cfg.Coordinator, w.cfg.Slots, w.pollIv, w.hbIv)
 			return true
 		}
-		w.up.Store(false)
 		if w.ctx.Err() != nil {
 			return false
 		}
 		w.logf("fleet: registration with %s failed, retrying: %v", w.cfg.Coordinator, err)
-		if !sleepCtx(w.ctx, time.Second) {
+		if !sleepCtx(w.ctx, jitter(time.Second)) {
 			return false
 		}
 	}
@@ -194,7 +284,7 @@ func (w *Worker) pollLoop() {
 		lease, ok := w.poll()
 		if !ok || lease == nil {
 			slots <- struct{}{}
-			if !sleepCtx(w.ctx, w.interval(&w.pollIv)) {
+			if !sleepCtx(w.ctx, jitter(w.interval(&w.pollIv))) {
 				return
 			}
 			continue
@@ -212,21 +302,27 @@ func (w *Worker) pollLoop() {
 // node (its restart, or our first contact racing a registry wipe).
 func (w *Worker) poll() (*WireLease, bool) {
 	var resp PollResponse
-	err := w.client.PostIdempotent(w.ctx, PathPoll, PollRequest{NodeID: w.NodeID()}, &resp)
+	err := w.post(PathPoll, PollRequest{NodeID: w.NodeID()}, &resp, w.rpcTimeout())
 	if err != nil {
-		w.up.Store(false)
 		if errors.Is(err, service.ErrNotFound) {
 			return nil, w.register()
 		}
 		return nil, w.ctx.Err() == nil
 	}
-	w.up.Store(true)
 	if resp.Lease == nil {
 		return nil, true
 	}
 	if err := resp.Lease.Validate(); err != nil {
-		// A lease that fails local validation is reported back as an error
-		// rather than silently dropped: the coordinator fails the job loudly
+		if errors.Is(err, ErrLeaseChecksum) {
+			// Wire corruption, not config drift: drop silently and let the
+			// lease deadline re-lease the range. Reporting it as a lease
+			// error would fail the whole job over a transient bit flip.
+			w.wireCorrupt.Add(1)
+			w.logf("fleet: dropping lease %s: %v", resp.Lease.ID, err)
+			return nil, true
+		}
+		// Any other validation failure is reported back as an error rather
+		// than silently dropped: the coordinator fails the job loudly
 		// (fingerprint mismatches mean config drift someone must see).
 		w.leaseErrs.Add(1)
 		w.report(&ResultRequest{NodeID: w.NodeID(), LeaseID: resp.Lease.ID, Error: err.Error()})
@@ -257,11 +353,9 @@ func (w *Worker) heartbeatLoop() {
 			Leases:     leases,
 		}
 		var resp HeartbeatResponse
-		if err := w.client.PostIdempotent(w.ctx, PathHeartbeat, req, &resp); err != nil {
-			w.up.Store(false)
+		if err := w.post(PathHeartbeat, req, &resp, w.rpcTimeout()); err != nil {
 			continue
 		}
-		w.up.Store(true)
 		if len(resp.Cancel) > 0 {
 			w.mu.Lock()
 			for _, id := range resp.Cancel {
@@ -361,19 +455,72 @@ func (w *Worker) execute(ctx context.Context, wl *WireLease) (results []service.
 }
 
 // report posts a lease outcome. The RPC retries transient failures; if the
-// coordinator stays unreachable the delivery is dropped and the lease
-// deadline re-leases the range elsewhere — idempotent merge makes the
-// eventual duplicate harmless.
+// coordinator stays unreachable (down, draining, or replaying its journal
+// after a restart) the sealed request parks in the spool and flushLoop
+// redelivers it when the coordinator heals — the computed range survives the
+// outage without a re-lease. If even that fails, the lease deadline
+// re-leases the range elsewhere; idempotent merge makes the eventual
+// duplicate harmless.
 func (w *Worker) report(req *ResultRequest) {
+	req.Seal()
 	var resp ResultResponse
-	if err := w.client.PostIdempotent(w.ctx, PathResult, req, &resp); err != nil {
-		w.up.Store(false)
-		if w.ctx.Err() == nil {
-			w.logf("fleet: result delivery for lease %s failed (range will re-lease): %v", req.LeaseID, err)
-		}
+	err := w.post(PathResult, req, &resp, 2*w.rpcTimeout())
+	if err == nil || w.ctx.Err() != nil {
 		return
 	}
-	w.up.Store(true)
+	w.logf("fleet: result delivery for lease %s failed, spooling for redelivery: %v", req.LeaseID, err)
+	if w.sp.push(req) {
+		w.logf("fleet: result spool full, evicted the oldest delivery")
+	}
+}
+
+// flushLoop drains the result spool: on a steady tick, and immediately when
+// the circuit breaker heals. Head-first, so redelivery order roughly matches
+// computation order.
+func (w *Worker) flushLoop() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-ticker.C:
+		case <-w.healCh:
+		}
+		w.flushSpool()
+	}
+}
+
+// flushSpool redelivers spooled results until the spool is empty or a
+// delivery fails. Breaker-open rejections don't count against an entry's
+// attempt cap — only deliveries the wire actually refused do.
+func (w *Worker) flushSpool() {
+	for {
+		e := w.sp.head()
+		if e == nil {
+			return
+		}
+		var resp ResultResponse
+		err := w.post(PathResult, e.req, &resp, 2*w.rpcTimeout())
+		if err == nil {
+			if w.sp.drop(e) {
+				w.spoolDelivered.Add(1)
+			}
+			continue
+		}
+		if errors.Is(err, errBreakerOpen) || w.ctx.Err() != nil {
+			return
+		}
+		e.attempts++ // flushLoop is the only consumer, so this is unshared
+		if e.attempts >= maxSpoolAttempts {
+			w.logf("fleet: abandoning spooled result for lease %s after %d delivery attempts: %v",
+				e.req.LeaseID, e.attempts, err)
+			w.sp.abandon(e)
+			continue
+		}
+		return // coordinator still unhealthy; wait for the next tick
+	}
 }
 
 // sleepCtx sleeps d or until ctx is done, reporting whether it slept fully.

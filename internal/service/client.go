@@ -66,8 +66,22 @@ func apiError(status int, body []byte) error {
 	case http.StatusNotFound:
 		return fmt.Errorf("%w (%s)", ErrNotFound, msg)
 	default:
-		return fmt.Errorf("service: HTTP %d: %s", status, msg)
+		return &HTTPError{Status: status, Msg: msg}
 	}
+}
+
+// HTTPError is the client-side form of an API error that maps to no
+// sentinel: validation failures and unrecognized statuses. Callers (the
+// fleet worker's circuit breaker) use the status to tell "the server
+// answered and rejected this request" from "the server is unreachable or
+// unhealthy".
+type HTTPError struct {
+	Status int
+	Msg    string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Msg)
 }
 
 const retryMaxDelay = 5 * time.Second

@@ -26,6 +26,11 @@ type DaemonConfig struct {
 	// embedders can mount additional endpoints (cmd/simd mounts the fleet
 	// coordinator's wire protocol here in -coordinator mode).
 	Routes func(mux *http.ServeMux)
+	// Bind, if non-nil, is called with the opened Service after the journal
+	// is attached but before the listener serves — the hook where cmd/simd
+	// connects the fleet coordinator to the service's lease journal and
+	// replay-readiness state.
+	Bind func(svc *Service)
 }
 
 // Daemon binds a Service to an HTTP listener and owns the shutdown
@@ -71,6 +76,9 @@ func (d *Daemon) Start() error {
 	svc, err := Open(d.cfg.Service)
 	if err != nil {
 		return err
+	}
+	if d.cfg.Bind != nil {
+		d.cfg.Bind(svc)
 	}
 	ln, err := net.Listen("tcp", d.cfg.Addr)
 	if err != nil {

@@ -114,6 +114,13 @@ type job struct {
 	// scheduler consumes it once.
 	resume *checkpointState
 
+	// fleetBanked/fleetLeases, when set by journal recovery, carry the
+	// lease-journal state (delivered-but-unreleased results, in-flight
+	// leases) into the job's first re-dispatch. Consumed once, like resume;
+	// meaningless without a Dispatcher.
+	fleetBanked []SeedResult
+	fleetLeases []RecoveredLease
+
 	mu       sync.Mutex
 	state    State
 	created  time.Time

@@ -39,12 +39,14 @@ const (
 	recSeed       = "seed"
 	recCheckpoint = "checkpoint"
 	recTerminal   = "terminal"
+	recLease      = "lease"
 )
 
 // journalRecord is one NDJSON line. Which fields are set depends on T:
 // submit carries Spec; state carries State; seed carries Seed/Result/Seq;
 // checkpoint carries Seed/Round/Data/Seq (Data is the engine snapshot,
-// base64 on the wire); terminal carries State and Error.
+// base64 on the wire); terminal carries State and Error; lease carries
+// Op/Lease/Node/Seeds/Attempt and, for result ops, Results.
 type journalRecord struct {
 	T      string      `json:"t"`
 	Job    string      `json:"job,omitempty"`
@@ -56,6 +58,59 @@ type journalRecord struct {
 	Seq    uint64      `json:"seq,omitempty"`
 	Round  int         `json:"round,omitempty"`
 	Data   []byte      `json:"data,omitempty"`
+
+	// Fleet lease-lifecycle fields (T == recLease).
+	Op      LeaseOp      `json:"op,omitempty"`
+	Lease   string       `json:"lease,omitempty"`
+	Node    string       `json:"node,omitempty"`
+	Seeds   []uint64     `json:"seeds,omitempty"`
+	Attempt int          `json:"attempt,omitempty"`
+	Results []SeedResult `json:"results,omitempty"`
+}
+
+// LeaseOp names one fleet lease-lifecycle event in the journal.
+type LeaseOp string
+
+const (
+	// LeaseGrant: the lease went active on a node (or was adopted after a
+	// restart). Re-grants of a requeued lease overwrite the earlier grant.
+	LeaseGrant LeaseOp = "grant"
+	// LeaseRenew: a heartbeat extended the lease (journaled at most once
+	// per TTL, so a healthy fleet doesn't swamp the journal).
+	LeaseRenew LeaseOp = "renew"
+	// LeaseResult: the node delivered the lease's results; Results carries
+	// the fresh (not-yet-merged) ones. Those seeds are banked — a restarted
+	// coordinator must never recompute them even though they are not yet
+	// part of the released prefix.
+	LeaseResult LeaseOp = "result"
+	// LeaseRequeue: the lease expired or its node died; it went back to
+	// pending with a bumped attempt count.
+	LeaseRequeue LeaseOp = "requeue"
+	// LeaseAbandon: the lease hit its attempt cap and failed the job.
+	LeaseAbandon LeaseOp = "abandon"
+)
+
+// LeaseRecord is one lease-lifecycle event as handed to AppendLease by the
+// fleet coordinator.
+type LeaseRecord struct {
+	Op      LeaseOp
+	Job     string
+	Lease   string
+	Node    string
+	Seeds   []uint64
+	Attempt int
+	Results []SeedResult
+}
+
+// RecoveredLease is an in-flight lease reconstructed by journal replay,
+// handed back to the dispatcher (DispatchJob.Leases) so a restarted
+// coordinator re-adopts it — same id, owner, and attempt count — instead
+// of re-dispatching the range from scratch.
+type RecoveredLease struct {
+	ID      string
+	Node    string // "" = was pending at the crash
+	Seeds   []uint64
+	Attempt int
 }
 
 // journal is the append side. A nil *journal is a valid no-op (the service
@@ -64,8 +119,8 @@ type journalRecord struct {
 // the daemon keeps serving, degraded to in-memory-only, rather than failing
 // jobs over a full disk.
 type journal struct {
-	path string
-	logf func(format string, args ...any)
+	path  string
+	logf  func(format string, args ...any)
 	onErr func()
 
 	mu  sync.Mutex
@@ -141,6 +196,13 @@ func (jl *journal) appendTerminal(id string, state State, errMsg string) {
 	jl.append(&journalRecord{T: recTerminal, Job: id, State: state, Error: errMsg}, true)
 }
 
+func (jl *journal) appendLease(rec *LeaseRecord) {
+	jl.append(&journalRecord{
+		T: recLease, Job: rec.Job, Op: rec.Op, Lease: rec.Lease,
+		Node: rec.Node, Seeds: rec.Seeds, Attempt: rec.Attempt, Results: rec.Results,
+	}, false)
+}
+
 func (jl *journal) close() {
 	if jl == nil {
 		return
@@ -167,12 +229,20 @@ type checkpointState struct {
 type recoveredJob struct {
 	id       string
 	spec     JobSpec
-	terminal State  // "" while non-terminal
+	terminal State // "" while non-terminal
 	errMsg   string
 	results  []SeedResult
 	seen     map[uint64]bool // seeds with a journaled result
 	ck       *checkpointState
 	seq      uint64 // max event seq journaled; resumed publishing continues past it
+
+	// Fleet lease state (recLease records): leases still in flight at the
+	// crash, in grant order, plus results delivered but not yet part of the
+	// released prefix ("banked" — they must never recompute).
+	leaseOrder []string
+	leases     map[string]*RecoveredLease
+	banked     map[uint64]SeedResult
+	bankOrder  []uint64
 }
 
 // replayOutcome is what replayJournal hands the service's recovery pass.
@@ -301,7 +371,114 @@ func applyRecord(byID map[string]*recoveredJob, out *replayOutcome, rec *journal
 			j.errMsg = rec.Error
 			j.ck = nil
 		}
+	case recLease:
+		applyLease(j, rec)
 	}
+}
+
+// bankResult records a delivered-but-unreleased seed result. Released
+// seeds (recSeed) and earlier bankings win.
+func (j *recoveredJob) bankResult(res SeedResult) {
+	if j.seen[res.Seed] {
+		return // already in the released prefix; recSeed is authoritative
+	}
+	if _, dup := j.banked[res.Seed]; dup {
+		return
+	}
+	if j.banked == nil {
+		j.banked = make(map[uint64]SeedResult)
+	}
+	j.banked[res.Seed] = res
+	j.bankOrder = append(j.bankOrder, res.Seed)
+}
+
+// applyLease folds one lease-lifecycle record into the replay state.
+func applyLease(j *recoveredJob, rec *journalRecord) {
+	if rec.Lease == "" {
+		return
+	}
+	switch rec.Op {
+	case LeaseGrant:
+		if len(rec.Seeds) == 0 {
+			return
+		}
+		if j.leases == nil {
+			j.leases = make(map[string]*RecoveredLease)
+		}
+		if _, known := j.leases[rec.Lease]; !known {
+			j.leaseOrder = append(j.leaseOrder, rec.Lease)
+		}
+		j.leases[rec.Lease] = &RecoveredLease{
+			ID: rec.Lease, Node: rec.Node,
+			Seeds: append([]uint64(nil), rec.Seeds...), Attempt: rec.Attempt,
+		}
+	case LeaseRenew:
+		if l := j.leases[rec.Lease]; l != nil && rec.Node != "" {
+			l.Node = rec.Node
+		}
+	case LeaseRequeue:
+		if l := j.leases[rec.Lease]; l != nil {
+			l.Node = ""
+			if rec.Attempt > l.Attempt {
+				l.Attempt = rec.Attempt
+			}
+		}
+	case LeaseResult:
+		delete(j.leases, rec.Lease)
+		for _, res := range rec.Results {
+			j.bankResult(res)
+		}
+	case LeaseAbandon:
+		delete(j.leases, rec.Lease)
+	}
+}
+
+// fleetState distills the replayed lease records into what a re-dispatch
+// needs: banked results (delivered but unreleased — never recompute) and
+// the leases in flight at the crash. Both are filtered defensively so a
+// torn, reordered, or fuzzed journal can never yield overlapping or
+// out-of-job work: banked seeds must belong to the spec and not be in the
+// released prefix; a lease survives only if every one of its seeds is
+// still unclaimed. These invariants are what FuzzLeaseJournalReplay pins.
+func (rj *recoveredJob) fleetState() (banked []SeedResult, leases []RecoveredLease) {
+	if len(rj.banked) == 0 && len(rj.leases) == 0 {
+		return nil, nil
+	}
+	inJob := make(map[uint64]bool, len(rj.spec.Seeds))
+	for _, s := range rj.spec.Seeds {
+		inJob[s] = true
+	}
+	claimed := make(map[uint64]bool)
+	for _, s := range rj.bankOrder {
+		if !inJob[s] || rj.seen[s] || claimed[s] {
+			continue
+		}
+		claimed[s] = true
+		banked = append(banked, rj.banked[s])
+	}
+	for _, id := range rj.leaseOrder {
+		l := rj.leases[id]
+		if l == nil {
+			continue // resulted or abandoned
+		}
+		ok := len(l.Seeds) > 0
+		within := make(map[uint64]bool, len(l.Seeds))
+		for _, s := range l.Seeds {
+			if !inJob[s] || rj.seen[s] || claimed[s] || within[s] {
+				ok = false
+				break
+			}
+			within[s] = true
+		}
+		if !ok {
+			continue
+		}
+		for _, s := range l.Seeds {
+			claimed[s] = true
+		}
+		leases = append(leases, *l)
+	}
+	return banked, leases
 }
 
 // parseJobID extracts the numeric part of a "j-000123" id (0 if foreign).
@@ -334,9 +511,9 @@ func (s *Service) recover() {
 	}
 
 	summary := ReplaySummary{
-		Records: outcome.records,
+		Records:  outcome.records,
 		TornTail: outcome.torn,
-		Jobs:    len(outcome.jobs),
+		Jobs:     len(outcome.jobs),
 	}
 	now := time.Now()
 	for _, rj := range outcome.jobs {
@@ -420,15 +597,18 @@ func (s *Service) resubmit(rj *recoveredJob) bool {
 	}
 	cfg.Workers = s.cfg.SimWorkers
 
+	banked, leases := rj.fleetState()
 	j := &job{
-		id:      rj.id,
-		spec:    spec,
-		shape:   spec.shape(),
-		cfg:     cfg,
-		state:   StatePending,
-		created: time.Now(),
-		results: rj.results,
-		resume:  rj.ck,
+		id:          rj.id,
+		spec:        spec,
+		shape:       spec.shape(),
+		cfg:         cfg,
+		state:       StatePending,
+		created:     time.Now(),
+		results:     rj.results,
+		resume:      rj.ck,
+		fleetBanked: banked,
+		fleetLeases: leases,
 	}
 	j.seq.Store(rj.seq)
 	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
@@ -456,10 +636,14 @@ func (s *Service) resubmit(rj *recoveredJob) bool {
 
 	// Log from rj.ck, not j.resume: once the job is on the queue a worker may
 	// already have consumed the resume pointer.
-	if rj.ck != nil {
+	switch {
+	case rj.ck != nil:
 		s.logf("job %s recovered: resuming seed %d from checkpoint at round %d (%d/%d seeds done)",
 			j.id, rj.ck.seed, rj.ck.round, len(rj.results), len(spec.Seeds))
-	} else {
+	case len(banked) > 0 || len(leases) > 0:
+		s.logf("job %s recovered: re-enqueued (%d/%d seeds done, %d banked results, %d in-flight leases to adopt)",
+			j.id, len(rj.results), len(spec.Seeds), len(banked), len(leases))
+	default:
 		s.logf("job %s recovered: re-enqueued (%d/%d seeds done)", j.id, len(rj.results), len(spec.Seeds))
 	}
 	return true

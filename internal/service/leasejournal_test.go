@@ -1,0 +1,198 @@
+package service
+
+// Tests for the lease-lifecycle journal records (recLease): replay
+// reconstruction of banked results and in-flight leases, torn-tail tolerance
+// at every byte offset, and a fuzz target pinning the fleetState invariants
+// (banked ∩ released = ∅, lease seed sets pairwise disjoint and in-job).
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func leaseRec(op LeaseOp, job, lease, node string, seeds []uint64, attempt int, results []SeedResult) *LeaseRecord {
+	return &LeaseRecord{Op: op, Job: job, Lease: lease, Node: node, Seeds: seeds, Attempt: attempt, Results: results}
+}
+
+func TestLeaseJournalRoundTrip(t *testing.T) {
+	spec := quickSpec(1, 2, 3, 4, 5, 6, 7, 8)
+	path, _ := buildJournal(t, t.TempDir(), func(jl *journal) {
+		jl.appendSubmit("j-000001", &spec)
+		// l-...-000 delivers: its seeds bank, the lease dies.
+		jl.appendLease(leaseRec(LeaseGrant, "j-000001", "l-j-000001-000", "wa", []uint64{3, 4}, 0, nil))
+		jl.appendLease(leaseRec(LeaseResult, "j-000001", "l-j-000001-000", "wa", []uint64{3, 4}, 0,
+			[]SeedResult{{Seed: 3, Rounds: 30}, {Seed: 4, Rounds: 40}}))
+		// l-...-001 stays active on wb (renewed, node updated).
+		jl.appendLease(leaseRec(LeaseGrant, "j-000001", "l-j-000001-001", "wa", []uint64{5, 6}, 0, nil))
+		jl.appendLease(leaseRec(LeaseRenew, "j-000001", "l-j-000001-001", "wb", nil, 0, nil))
+		// l-...-002 was requeued: ownerless, attempt bumped.
+		jl.appendLease(leaseRec(LeaseGrant, "j-000001", "l-j-000001-002", "wc", []uint64{7, 8}, 0, nil))
+		jl.appendLease(leaseRec(LeaseRequeue, "j-000001", "l-j-000001-002", "", []uint64{7, 8}, 1, nil))
+		// l-...-003 hit the attempt cap and is gone.
+		jl.appendLease(leaseRec(LeaseGrant, "j-000001", "l-j-000001-003", "wd", []uint64{1}, 4, nil))
+		jl.appendLease(leaseRec(LeaseAbandon, "j-000001", "l-j-000001-003", "wd", []uint64{1}, 4, nil))
+	})
+	out, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.jobs) != 1 {
+		t.Fatalf("replayed %d jobs", len(out.jobs))
+	}
+	banked, leases := out.jobs[0].fleetState()
+
+	if len(banked) != 2 || banked[0].Seed != 3 || banked[1].Seed != 4 {
+		t.Fatalf("banked = %+v, want seeds [3 4]", banked)
+	}
+	if banked[0].Rounds != 30 || banked[1].Rounds != 40 {
+		t.Fatalf("banked payload lost: %+v", banked)
+	}
+	if len(leases) != 2 {
+		t.Fatalf("leases = %+v, want 2", leases)
+	}
+	if l := leases[0]; l.ID != "l-j-000001-001" || l.Node != "wb" || l.Attempt != 0 {
+		t.Fatalf("active lease = %+v", l)
+	}
+	if l := leases[1]; l.ID != "l-j-000001-002" || l.Node != "" || l.Attempt != 1 {
+		t.Fatalf("requeued lease = %+v", l)
+	}
+}
+
+func TestLeaseJournalReleasedPrefixWinsOverBank(t *testing.T) {
+	spec := quickSpec(1, 2)
+	path, _ := buildJournal(t, t.TempDir(), func(jl *journal) {
+		jl.appendSubmit("j-000001", &spec)
+		jl.appendLease(leaseRec(LeaseGrant, "j-000001", "l-j-000001-000", "wa", []uint64{1, 2}, 0, nil))
+		jl.appendLease(leaseRec(LeaseResult, "j-000001", "l-j-000001-000", "wa", []uint64{1, 2}, 0,
+			[]SeedResult{{Seed: 1, Rounds: 10}, {Seed: 2, Rounds: 20}}))
+		// Seed 1 then made it into the released prefix before the crash: the
+		// recSeed record is authoritative and the bank must drop it.
+		jl.appendSeed("j-000001", 1, &SeedResult{Seed: 1, Rounds: 10}, 1)
+	})
+	out, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked, leases := out.jobs[0].fleetState()
+	if len(banked) != 1 || banked[0].Seed != 2 {
+		t.Fatalf("banked = %+v, want just seed 2", banked)
+	}
+	if len(leases) != 0 {
+		t.Fatalf("leases = %+v, want none", leases)
+	}
+}
+
+// checkFleetInvariants asserts the properties a re-dispatch relies on, for
+// any journal content whatsoever.
+func checkFleetInvariants(t *testing.T, rj *recoveredJob) {
+	t.Helper()
+	banked, leases := rj.fleetState()
+	inJob := make(map[uint64]bool, len(rj.spec.Seeds))
+	for _, s := range rj.spec.Seeds {
+		inJob[s] = true
+	}
+	claimed := make(map[uint64]bool)
+	for _, sr := range banked {
+		if !inJob[sr.Seed] {
+			t.Fatalf("banked seed %d not in job %v", sr.Seed, rj.spec.Seeds)
+		}
+		if rj.seen[sr.Seed] {
+			t.Fatalf("banked seed %d already in the released prefix", sr.Seed)
+		}
+		if claimed[sr.Seed] {
+			t.Fatalf("banked seed %d claimed twice", sr.Seed)
+		}
+		claimed[sr.Seed] = true
+	}
+	for _, l := range leases {
+		if len(l.Seeds) == 0 {
+			t.Fatalf("lease %s has no seeds", l.ID)
+		}
+		for _, s := range l.Seeds {
+			if !inJob[s] {
+				t.Fatalf("lease %s seed %d not in job", l.ID, s)
+			}
+			if rj.seen[s] {
+				t.Fatalf("lease %s seed %d already released", l.ID, s)
+			}
+			if claimed[s] {
+				t.Fatalf("lease %s seed %d claimed twice", l.ID, s)
+			}
+			claimed[s] = true
+		}
+	}
+}
+
+// leaseJournalBytes is the canonical lease journal the truncation and fuzz
+// tests start from.
+func leaseJournalBytes(t testing.TB) []byte {
+	spec := quickSpec(1, 2, 3, 4, 5, 6)
+	jl, err := openJournal(t.TempDir(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.appendSubmit("j-000001", &spec)
+	jl.appendLease(leaseRec(LeaseGrant, "j-000001", "l-j-000001-000", "wa", []uint64{1, 2}, 0, nil))
+	jl.appendLease(leaseRec(LeaseGrant, "j-000001", "l-j-000001-001", "wb", []uint64{3, 4}, 0, nil))
+	jl.appendLease(leaseRec(LeaseResult, "j-000001", "l-j-000001-000", "wa", []uint64{1, 2}, 0,
+		[]SeedResult{{Seed: 1, Rounds: 11}, {Seed: 2, Rounds: 12}}))
+	jl.appendSeed("j-000001", 1, &SeedResult{Seed: 1, Rounds: 11}, 1)
+	jl.appendLease(leaseRec(LeaseRequeue, "j-000001", "l-j-000001-001", "", []uint64{3, 4}, 1, nil))
+	jl.appendLease(leaseRec(LeaseGrant, "j-000001", "l-j-000001-002", "wc", []uint64{5, 6}, 0, nil))
+	jl.close()
+	data, err := os.ReadFile(jl.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestLeaseJournalTruncatedAtEveryOffset cuts a lease-bearing journal at
+// every byte position: replay must never error, and whatever state survives
+// must still satisfy the fleet invariants.
+func TestLeaseJournalTruncatedAtEveryOffset(t *testing.T) {
+	data := leaseJournalBytes(t)
+	path := filepath.Join(t.TempDir(), journalFile)
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := replayJournal(path)
+		if err != nil {
+			t.Fatalf("cut=%d: replay error: %v", cut, err)
+		}
+		for _, rj := range out.jobs {
+			checkFleetInvariants(t, rj)
+		}
+	}
+}
+
+// FuzzLeaseJournalReplay throws arbitrary bytes at replay and asserts the
+// fleetState invariants hold for every recovered job — a mangled journal may
+// lose work (recomputed; harmless) but must never yield overlapping or
+// out-of-job leases, which would corrupt a dispatch.
+func FuzzLeaseJournalReplay(f *testing.F) {
+	valid := leaseJournalBytes(f)
+	f.Add(valid)
+	f.Add(valid[:2*len(valid)/3])
+	f.Add(bytes.Replace(valid, []byte(`"op":"result"`), []byte(`"op":"grant"`), 1))
+	f.Add(bytes.ReplaceAll(valid, []byte(`"seeds":[3,4]`), []byte(`"seeds":[1,2]`)))
+	f.Add([]byte(`{"t":"submit","job":"j-1","spec":{"n":10,"h":1,"sources1":1,"seeds":[1]}}` + "\n" +
+		`{"t":"lease","job":"j-1","op":"grant","lease":"l-j-1-000","seeds":[1,1,99]}` + "\n"))
+	f.Add([]byte(`{"t":"lease","job":"j-none","op":"result","lease":"x","results":[{"seed":5}]}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), journalFile)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := replayJournal(path)
+		if err != nil {
+			t.Fatalf("replay errored on file content: %v", err)
+		}
+		for _, rj := range out.jobs {
+			checkFleetInvariants(t, rj)
+		}
+	})
+}

@@ -88,6 +88,19 @@ type DispatchJob struct {
 	Spec        JobSpec
 	Fingerprint string
 	Seeds       []uint64
+
+	// Banked are results recovered from the lease journal: workers delivered
+	// them before a coordinator crash but they were not yet part of the
+	// released prefix. The dispatcher must fold them into its merge instead
+	// of re-dispatching their seeds — already-delivered seeds never
+	// recompute. Always a subset of Seeds.
+	Banked []SeedResult
+	// Leases are the in-flight leases recovered from the lease journal. The
+	// dispatcher re-adopts them under their original ids, owners, and
+	// attempt counts so workers still executing (or re-delivering) them land
+	// on live leases instead of being cancelled. Their seed sets are
+	// pairwise disjoint and disjoint from Banked.
+	Leases []RecoveredLease
 }
 
 // Dispatcher executes a job's seeds somewhere other than the scheduler
@@ -214,6 +227,34 @@ func (s *Service) Ready() bool {
 	draining := s.draining
 	s.mu.Unlock()
 	return !draining
+}
+
+// Replayed reports whether journal replay has finished (immediately true
+// without a journal). The fleet wire gates on this rather than Ready(): a
+// draining coordinator must still accept late result deliveries so
+// in-flight dispatches can finish before the drain deadline.
+func (s *Service) Replayed() bool {
+	return s.ready.Load()
+}
+
+// AppendLease journals one fleet lease-lifecycle record. The coordinator
+// calls it through its Binding; without a journal it is a no-op.
+func (s *Service) AppendLease(rec LeaseRecord) {
+	s.journal.appendLease(&rec)
+}
+
+// JobState reports a job's current state by id.
+func (s *Service) JobState(id string) (State, bool) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return "", false
+	}
+	j.mu.Lock()
+	st := j.state
+	j.mu.Unlock()
+	return st, true
 }
 
 // ReplayStatus returns the journal replay summary and whether replay has
@@ -501,7 +542,11 @@ func (s *Service) runDispatched(j *job, start int) error {
 		Spec:        j.spec,
 		Fingerprint: j.spec.Fingerprint(),
 		Seeds:       j.spec.Seeds[start:],
+		Banked:      j.fleetBanked,
+		Leases:      j.fleetLeases,
 	}
+	// Recovery state is consumed by the first dispatch only, like resume.
+	j.fleetBanked, j.fleetLeases = nil, nil
 	err := s.cfg.Dispatcher.Dispatch(j.ctx, dj, func(sr SeedResult) {
 		s.metrics.rounds.Add(int64(sr.Rounds))
 		s.metrics.faults.Add(int64(len(sr.Faults)))
