@@ -76,6 +76,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fleetPoll   = fs.Duration("fleet-poll", 500*time.Millisecond, "fleet: idle-worker poll interval advertised to workers")
 		leaseMax    = fs.Int("lease-attempts", 0, "fleet: times one seed range may be leased before its job fails (0 = default 5)")
 		chaosSpec   = fs.String("chaos-spec", "", `fleet: deterministic wire-fault injection, e.g. "seed=7,drop=0.1,delay=0.2:20ms,dup=0.1,corrupt=0.05,partition=1500ms/6s" (chaos testing only)`)
+
+		fleetSecret  = fs.String("fleet-secret", "", "fleet: shared secret; every fleet RPC carries an HMAC-SHA256 body signature (must match on all nodes)")
+		verifySeeds  = fs.Int("verify-seeds", 0, "fleet: lease each verified seed range to this many distinct nodes and admit results only on majority digest agreement (0 or 1 = trust workers)")
+		verifySample = fs.Float64("verify-sample", 1, "fleet: fraction of seed ranges quorum-verified when -verify-seeds is set (deterministic per range)")
+		quarProbe    = fs.Duration("quarantine-probation", 2*time.Minute, "fleet: how long a quarantined node is refused leases before it may heal")
+		specFactor   = fs.Float64("speculate-factor", 0, "fleet: re-lease a straggling range speculatively once its lease is this multiple of the expected duration old (0 = off)")
+		leaseMin     = fs.Int("lease-seeds-min", 0, "fleet: lower bound for throughput-sized leases (0 = default 1)")
+		leaseCeil    = fs.Int("lease-seeds-max", 0, "fleet: upper bound for throughput-sized leases (0 = default 4×lease-seeds)")
+		lieSpec      = fs.String("lie-spec", "", `fleet: make this worker Byzantine, e.g. "seed=3,flip=1,skew=0.5,stalefp=0.2" (fault-injection testing only)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +113,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	inj := chaos.New(cspec) // nil spec → nil injector → every hook is a no-op
 
+	lspec, err := chaos.ParseLieSpec(*lieSpec)
+	if err != nil {
+		return err
+	}
+	if lspec != nil && mode != "worker" {
+		return errors.New("-lie-spec makes a worker Byzantine: it requires -join")
+	}
+	liar := chaos.NewLiar(lspec) // nil spec → nil liar → honest worker
+	if (*verifySeeds != 0 || *specFactor != 0 || *leaseMin != 0 || *leaseCeil != 0) && mode != "coordinator" {
+		return errors.New("-verify-seeds, -speculate-factor, -lease-seeds-min, and -lease-seeds-max tune lease cutting: they require -coordinator")
+	}
+	if *verifySeeds < 0 {
+		return errors.New("-verify-seeds must be >= 0")
+	}
+	if *fleetSecret != "" && mode == "single" {
+		return errors.New("-fleet-secret authenticates fleet RPCs: it requires -coordinator or -join")
+	}
+
 	logger := log.New(out, "", log.LstdFlags)
 	logf := func(format string, a ...any) { logger.Printf(format, a...) }
 	if *quiet {
@@ -130,10 +157,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "coordinator":
 		coord := fleet.NewCoordinator(fleet.Config{
 			LeaseSeeds:       *leaseSeeds,
+			LeaseSeedsMin:    *leaseMin,
+			LeaseSeedsMax:    *leaseCeil,
 			LeaseTTL:         *leaseTTL,
 			NodeTTL:          *nodeTTL,
 			PollInterval:     *fleetPoll,
 			MaxLeaseAttempts: *leaseMax,
+			VerifySeeds:      *verifySeeds,
+			VerifySample:     *verifySample,
+			Probation:        *quarProbe,
+			SpeculateFactor:  *specFactor,
+			Secret:           *fleetSecret,
 			Logf:             logf,
 		})
 		defer coord.Close()
@@ -156,9 +190,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Slots:       *slots,
 			SimWorkers:  *simWorkers,
 			Client:      client,
+			Secret:      *fleetSecret,
+			Lie:         liarHook(liar),
 			Logf:        logf,
 		})
-		dcfg.Service.ExtraMetrics = chainMetrics(worker.WriteMetrics, inj)
+		dcfg.Service.ExtraMetrics = chainMetrics(chainMetrics(worker.WriteMetrics, inj), liar)
 	}
 
 	journalDisplay := *journalDir
@@ -178,16 +214,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return d.Run(ctx)
 }
 
-// chainMetrics appends the chaos injector's counters to a fleet metrics
-// writer; a nil injector leaves the writer untouched.
-func chainMetrics(fn func(io.Writer) error, inj *chaos.Injector) func(io.Writer) error {
-	if inj == nil {
-		return fn
-	}
+// chainMetrics appends a fault injector's counters (chaos wire faults,
+// Byzantine lies) to a fleet metrics writer. Both injectors' WriteMetrics
+// are nil-receiver-safe no-ops, so absent fault injection costs one call.
+func chainMetrics[T interface{ WriteMetrics(io.Writer) error }](fn func(io.Writer) error, extra T) func(io.Writer) error {
 	return func(w io.Writer) error {
 		if err := fn(w); err != nil {
 			return err
 		}
-		return inj.WriteMetrics(w)
+		return extra.WriteMetrics(w)
 	}
+}
+
+// liarHook adapts a *chaos.Liar to the worker's Lie hook; a nil liar
+// installs no hook at all (the honest fast path stays allocation-free).
+func liarHook(li *chaos.Liar) func([]service.SeedResult, string) ([]service.SeedResult, string) {
+	if li == nil {
+		return nil
+	}
+	return li.Apply
 }

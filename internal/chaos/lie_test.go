@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"noisypull/internal/service"
+)
+
+func lieResults() []service.SeedResult {
+	return []service.SeedResult{
+		{Seed: 1, Rounds: 10, Converged: true},
+		{Seed: 2, Rounds: 20, Converged: true},
+		{Seed: 3, Rounds: 30, Converged: false},
+	}
+}
+
+func TestParseLieSpec(t *testing.T) {
+	if spec, err := ParseLieSpec(""); spec != nil || err != nil {
+		t.Fatalf("empty spec = %+v, %v", spec, err)
+	}
+	spec, err := ParseLieSpec("seed=9,flip=1,skew=0.5,stalefp=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &LieSpec{Seed: 9, Flip: 1, Skew: 0.5, StaleFP: 0.25}
+	if *spec != *want {
+		t.Fatalf("spec = %+v, want %+v", spec, want)
+	}
+	if got := spec.String(); got != "seed=9,flip=1,skew=0.5,stalefp=0.25" {
+		t.Fatalf("String() = %q", got)
+	}
+	// Seed defaults to 1 so "flip=1" alone is a valid, reproducible liar.
+	if spec, err := ParseLieSpec("flip=1"); err != nil || spec.Seed != 1 {
+		t.Fatalf("default seed: %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"flip", "flip=2", "flip=-1", "flip=x", "seed=-1", "lies=1"} {
+		if _, err := ParseLieSpec(bad); err == nil {
+			t.Errorf("ParseLieSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLiarDeterministic(t *testing.T) {
+	spec := &LieSpec{Seed: 3, Flip: 0.5, Skew: 0.5, StaleFP: 0.5}
+	a, b := NewLiar(spec), NewLiar(spec)
+	for i := 0; i < 20; i++ {
+		ra, fa := a.Apply(lieResults(), "fp-abc")
+		rb, fb := b.Apply(lieResults(), "fp-abc")
+		if !reflect.DeepEqual(ra, rb) || fa != fb {
+			t.Fatalf("delivery %d diverged:\n%v %q\n%v %q", i, ra, fa, rb, fb)
+		}
+	}
+	if a.Lied() == 0 {
+		t.Fatal("p=0.5 spec told no lies in 20 deliveries")
+	}
+}
+
+func TestLiarFlipAltersPayloadNotLabels(t *testing.T) {
+	li := NewLiar(&LieSpec{Seed: 1, Flip: 1})
+	in := lieResults()
+	out, fp := li.Apply(in, "fp-abc")
+	if fp != "fp-abc" {
+		t.Fatalf("flip touched the fingerprint: %q", fp)
+	}
+	// The input slice is never mutated — the worker's own accounting (seed
+	// counters, logs) must reflect what it actually computed.
+	if !reflect.DeepEqual(in, lieResults()) {
+		t.Fatalf("Apply mutated its input: %+v", in)
+	}
+	for i := range out {
+		if out[i].Seed != in[i].Seed {
+			t.Fatalf("flip changed a seed label: %+v", out[i])
+		}
+		if out[i].Rounds == in[i].Rounds || out[i].Converged == in[i].Converged {
+			t.Fatalf("flip=1 left result %d intact: %+v", i, out[i])
+		}
+	}
+	if li.flipped.Load() != int64(len(in)) {
+		t.Fatalf("flipped = %d, want %d", li.flipped.Load(), len(in))
+	}
+}
+
+func TestLiarSkewSwapsPayloadsKeepsSeeds(t *testing.T) {
+	li := NewLiar(&LieSpec{Seed: 1, Skew: 1})
+	in := lieResults()
+	out, _ := li.Apply(in, "fp")
+	var seeds, rounds []int
+	for i := range out {
+		seeds = append(seeds, int(out[i].Seed))
+		rounds = append(rounds, out[i].Rounds)
+	}
+	// Seed labels keep their positions; two adjacent payloads swapped.
+	if !reflect.DeepEqual(seeds, []int{1, 2, 3}) {
+		t.Fatalf("skew reordered seed labels: %v", seeds)
+	}
+	if reflect.DeepEqual(rounds, []int{10, 20, 30}) {
+		t.Fatalf("skew=1 swapped nothing: %v", rounds)
+	}
+	if li.skewed.Load() != 1 {
+		t.Fatalf("skewed = %d, want 1", li.skewed.Load())
+	}
+	// A single result has no adjacent pair to swap.
+	single, _ := li.Apply(in[:1], "fp")
+	if !reflect.DeepEqual(single, in[:1]) {
+		t.Fatalf("skew on a 1-result delivery: %+v", single[0])
+	}
+}
+
+func TestLiarStaleFingerprint(t *testing.T) {
+	li := NewLiar(&LieSpec{Seed: 1, StaleFP: 1})
+	out, fp := li.Apply(lieResults(), "0123456789abcdef")
+	if fp == "0123456789abcdef" || len(fp) != len("0123456789abcdef") {
+		t.Fatalf("stalefp=1 fingerprint = %q", fp)
+	}
+	if !reflect.DeepEqual(out, lieResults()) {
+		t.Fatalf("stalefp touched the payload: %+v", out)
+	}
+	// Same fingerprint in → same doctored fingerprint out (deterministic).
+	if _, fp2 := li.Apply(lieResults(), "0123456789abcdef"); fp2 != fp {
+		t.Fatalf("doctored fingerprint not stable: %q vs %q", fp2, fp)
+	}
+}
+
+func TestLiarNilIsHonest(t *testing.T) {
+	var li *Liar
+	in := lieResults()
+	out, fp := li.Apply(in, "fp")
+	if &out[0] != &in[0] || fp != "fp" {
+		t.Fatal("nil liar is not the identity")
+	}
+	if li.Lied() != 0 {
+		t.Fatal("nil liar lied")
+	}
+	var sb strings.Builder
+	if err := li.WriteMetrics(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil liar metrics: %q, %v", sb.String(), err)
+	}
+	if NewLiar(nil) != nil {
+		t.Fatal("NewLiar(nil) != nil")
+	}
+}
+
+func TestLiarMetrics(t *testing.T) {
+	li := NewLiar(&LieSpec{Seed: 1, Flip: 1})
+	li.Apply(lieResults(), "fp")
+	var sb strings.Builder
+	if err := li.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `simd_chaos_lies_total{kind="flip"} 3`) {
+		t.Fatalf("metrics missing flip count:\n%s", sb.String())
+	}
+	for _, kind := range []string{"skew", "stalefp"} {
+		if !strings.Contains(sb.String(), `simd_chaos_lies_total{kind="`+kind+`"} 0`) {
+			t.Fatalf("metrics missing %s row:\n%s", kind, sb.String())
+		}
+	}
+}

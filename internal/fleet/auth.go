@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+)
+
+// Shared-secret HMAC auth for the fleet wire. Attestation (attest.go)
+// defends the merge against workers that compute wrong answers; auth
+// defends the coordinator against endpoints that were never fleet members
+// at all — anyone who can reach the port can otherwise register, poll
+// leases away from real workers, or deliver results. A shared secret
+// (`-fleet-secret` on every node) gates all four RPCs: the client stamps
+// each request with an HMAC-SHA256 of the body, the coordinator verifies
+// it in constant time before the body is decoded. This is transport-level
+// peer authentication, not per-node identity — any holder of the secret
+// can speak as any node id (quorum + reputation handle a member that
+// turns Byzantine).
+
+// AuthHeader carries the request's HMAC tag, hex-encoded.
+const AuthHeader = "X-Fleet-Auth"
+
+// authMAC computes the hex HMAC-SHA256 tag of a request body.
+func authMAC(secret string, body []byte) string {
+	m := hmac.New(sha256.New, []byte(secret))
+	m.Write(body)
+	return hex.EncodeToString(m.Sum(nil))
+}
+
+// Signer returns a request-signing hook for service.Client.Sign that stamps
+// AuthHeader on every outgoing fleet RPC. An empty secret returns nil (no
+// header, compatible with an auth-less coordinator).
+func Signer(secret string) func(*http.Request, []byte) {
+	if secret == "" {
+		return nil
+	}
+	return func(req *http.Request, body []byte) {
+		req.Header.Set(AuthHeader, authMAC(secret, body))
+	}
+}
+
+// VerifyAuth checks a received tag against the body in constant time.
+func VerifyAuth(secret, tag string, body []byte) bool {
+	return hmac.Equal([]byte(tag), []byte(authMAC(secret, body)))
+}

@@ -1,11 +1,15 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -19,10 +23,17 @@ import (
 // Config tunes a Coordinator. The zero value gets defaults from
 // NewCoordinator.
 type Config struct {
-	// LeaseSeeds is the seed-range size per lease. Smaller leases spread a
-	// job wider and lose less to a node death; larger ones amortize runner
-	// construction better. Default 8.
+	// LeaseSeeds is the seed-range size per lease for nodes without a
+	// throughput history. Smaller leases spread a job wider and lose less to
+	// a node death; larger ones amortize runner construction better.
+	// Default 8.
 	LeaseSeeds int
+	// LeaseSeedsMin / LeaseSeedsMax bound locality-aware lease sizing: once
+	// a node has a seeds/sec EWMA, its leases are sized to about a third of
+	// a lease TTL of work, clamped to [min, max]. Defaults 1 and
+	// 4×LeaseSeeds.
+	LeaseSeedsMin int
+	LeaseSeedsMax int
 	// LeaseTTL is how long a leased range may go without a heartbeat before
 	// it is re-leased. Default 15s.
 	LeaseTTL time.Duration
@@ -38,8 +49,39 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// MaxLeaseAttempts caps how many times one seed range may be leased
 	// before its job fails — the backstop against a lease that kills every
-	// node that touches it. Default 5.
+	// node that touches it. It also caps quorum escalations. Default 5.
 	MaxLeaseAttempts int
+
+	// VerifySeeds enables k-redundant quorum verification: each selected
+	// seed range is leased to VerifySeeds distinct nodes and a seed is
+	// admitted only once a majority (k/2+1) delivered attestation-identical
+	// results. 0 or 1 disables verification (trust every worker, the
+	// pre-Byzantine behavior).
+	VerifySeeds int
+	// VerifySample is the fraction of seed ranges verified when VerifySeeds
+	// is active, selected deterministically from (fingerprint, first seed).
+	// <= 0 or >= 1 verifies everything. Sampling trades detection latency
+	// for throughput: a persistent liar still lands in a verified range
+	// quickly, and one confirmed lie quarantines it.
+	VerifySample float64
+	// QuarantineThreshold is the attestation-failure EWMA at which a node is
+	// quarantined. The EWMA steps by 0.5 per event, so the default 0.5
+	// quarantines on the first confirmed lie against a clean history.
+	QuarantineThreshold float64
+	// Probation is how long a quarantined node is refused leases before it
+	// may earn its way back. Default 2m.
+	Probation time.Duration
+	// SpeculateFactor enables speculative re-execution of stragglers: an
+	// active lease older than SpeculateFactor × its expected duration (range
+	// size / fleet median seeds-per-sec) is hedged with one speculative
+	// replica on another node; the first delivery wins and the loser is a
+	// counted duplicate. 0 disables speculation.
+	SpeculateFactor float64
+	// Secret, when set, requires every fleet RPC to carry a valid
+	// HMAC-SHA256 of its body in the AuthHeader header (`-fleet-secret` on
+	// every node). Empty serves unauthenticated, the pre-auth behavior.
+	Secret string
+
 	// Logf, if non-nil, receives fleet lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -47,6 +89,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.LeaseSeeds <= 0 {
 		c.LeaseSeeds = 8
+	}
+	if c.LeaseSeedsMin <= 0 {
+		c.LeaseSeedsMin = 1
+	}
+	if c.LeaseSeedsMax <= 0 {
+		c.LeaseSeedsMax = 4 * c.LeaseSeeds
 	}
 	if c.LeaseTTL <= 0 {
 		c.LeaseTTL = 15 * time.Second
@@ -63,6 +111,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxLeaseAttempts <= 0 {
 		c.MaxLeaseAttempts = 5
 	}
+	if c.VerifySample <= 0 || c.VerifySample > 1 {
+		c.VerifySample = 1
+	}
+	if c.QuarantineThreshold <= 0 || c.QuarantineThreshold > 1 {
+		c.QuarantineThreshold = 0.5
+	}
+	if c.Probation <= 0 {
+		c.Probation = 2 * time.Minute
+	}
 	return c
 }
 
@@ -70,9 +127,18 @@ func (c Config) withDefaults() Config {
 // the coordinator's lease table, its results accumulate in the order-free
 // merge, and the scheduler goroutine blocked in Dispatch drains the
 // released in-order prefix into the service (store, stream, journal).
+//
+// Seed ranges are cut lazily: backlog holds the seeds not yet leased, and a
+// range is cut only when a polling node needs work — which is what lets the
+// cut size follow the polling node's measured throughput instead of a fixed
+// -lease-seeds.
 type dispatch struct {
 	job   service.DispatchJob
 	merge *merge
+
+	backlog   []uint64        // seeds not yet cut into leases, spec order
+	bankedSet map[uint64]bool // journal-banked seeds (re-leasing one is a bug)
+	nextIdx   int             // next lease id index
 
 	// released holds merged results in seed order, not yet handed to the
 	// scheduler; err/done is the terminal outcome. Guarded by the
@@ -97,11 +163,13 @@ func (d *dispatch) wake() {
 type Coordinator struct {
 	cfg Config
 
-	mu         sync.Mutex
-	reg        *registry
-	lt         *leaseTable
-	dispatches map[string]*dispatch // by job id
-	binding    Binding              // set once via Bind, before serving
+	mu          sync.Mutex
+	reg         *registry
+	lt          *leaseTable
+	dispatches  map[string]*dispatch // by job id
+	order       []*dispatch          // dispatch order; lazy cuts drain the oldest backlog first
+	binding     Binding              // set once via Bind, before serving
+	quarAdopted bool                 // journal-recovered quarantine re-applied
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -119,6 +187,16 @@ type Coordinator struct {
 	lateDeliveries  atomic.Int64 // results accepted on adopted leases
 	redispatched    atomic.Int64 // already-delivered seeds freshly re-leased (must stay 0)
 	abandoned       atomic.Int64 // leases abandoned at the attempt cap
+
+	// Byzantine-tolerance counters.
+	authFailures  atomic.Int64 // RPCs rejected by the shared-secret check
+	attFailures   atomic.Int64 // deliveries rejected before merging (bad digest / out-of-lease seeds)
+	agreements    atomic.Int64 // quorum votes matching the admitted payload
+	disagreements atomic.Int64 // quorum votes outvoted by the majority
+	quarantines   atomic.Int64 // quarantine events
+	quarRejected  atomic.Int64 // RPCs refused because the node is quarantined
+	escalations   atomic.Int64 // extra quorum replicas cut after a split vote
+	speculated    atomic.Int64 // speculative straggler replicas cut
 }
 
 // Binding connects the coordinator to the service's durability layer:
@@ -140,6 +218,10 @@ type Binding interface {
 	// JobState resolves a job id to its current state, distinguishing "job
 	// recovering, not yet re-dispatched" from "job gone".
 	JobState(id string) (service.State, bool)
+	// RecoveredQuarantine returns journal-recovered node quarantine
+	// (node id → reason) so a lying node does not regain leases just
+	// because the coordinator restarted.
+	RecoveredQuarantine() map[string]string
 }
 
 // Bind connects the service's durability layer. Call before the wire
@@ -155,9 +237,13 @@ func (c *Coordinator) appendLeaseRec(op service.LeaseOp, l *lease, results []ser
 	if c.binding == nil {
 		return
 	}
+	quorum := 0
+	if l.group != nil && l.group.need > 1 {
+		quorum = l.group.need
+	}
 	c.binding.AppendLease(service.LeaseRecord{
 		Op: op, Job: l.d.job.ID, Lease: l.id, Node: l.node,
-		Seeds: l.seeds, Attempt: l.attempt, Results: results,
+		Seeds: l.seeds, Attempt: l.attempt, Results: results, Quorum: quorum,
 	})
 	if op == service.LeaseGrant {
 		c.journaledLeases.Add(1)
@@ -191,10 +277,10 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// Dispatch implements service.Dispatcher: split the job's remaining seeds
-// into leases, queue them for polling workers, and block draining merged
-// results — in seed order — into emit until the job completes, fails, or
-// ctx is cancelled.
+// Dispatch implements service.Dispatcher: put the job's remaining seeds on
+// the dispatch backlog (ranges are cut lazily as nodes poll), and block
+// draining merged results — in seed order — into emit until the job
+// completes, fails, or ctx is cancelled.
 func (c *Coordinator) Dispatch(ctx context.Context, job service.DispatchJob, emit func(service.SeedResult)) error {
 	if len(job.Seeds) == 0 {
 		return nil
@@ -208,24 +294,34 @@ func (c *Coordinator) Dispatch(ctx context.Context, job service.DispatchJob, emi
 		notify: make(chan struct{}, 1),
 	}
 
-	// Fold in recovery state from the lease journal before cutting fresh
-	// leases: banked results go straight into the merge (already computed —
-	// never again), and the crash's in-flight leases are re-adopted under
-	// their original ids so their owners' heartbeats and late deliveries
-	// land on live leases instead of being cancelled.
-	preReleased, _, _, bankErr := d.merge.add(job.Banked)
+	// Fold in recovery state from the lease journal before accepting polls:
+	// banked results go straight into the merge (already computed — never
+	// again), and the crash's in-flight leases are re-adopted under their
+	// original ids so their owners' heartbeats and late deliveries land on
+	// live leases instead of being cancelled. Quorum-cut leases are the
+	// exception: their votes died with the coordinator (votes are not
+	// journaled — only admitted results are), so their ranges go back on the
+	// backlog for a fresh replicated cut. That never re-leases a delivered
+	// seed: quorum seeds only journal results at admission.
+	preReleased, _, _, bankErr := d.merge.preload(job.Banked)
 	if bankErr != nil {
 		return fmt.Errorf("fleet: job %s recovered banked results are inconsistent: %w", job.ID, bankErr)
 	}
-	bankedSet := make(map[uint64]bool, len(job.Banked))
+	d.bankedSet = make(map[uint64]bool, len(job.Banked))
 	claimed := make(map[uint64]bool, len(job.Seeds))
 	for _, sr := range job.Banked {
-		bankedSet[sr.Seed] = true
+		d.bankedSet[sr.Seed] = true
 		claimed[sr.Seed] = true
 	}
 	var adopted []*lease
 	maxIdx := -1
 	for _, rl := range job.Leases {
+		if idx, ok := leaseIndex(job.ID, rl.ID); ok && idx > maxIdx {
+			maxIdx = idx
+		}
+		if rl.Quorum > 1 {
+			continue // re-cut under a fresh quorum; seeds stay unclaimed
+		}
 		// The service's replay already normalized these (in-job, disjoint,
 		// unseen); re-check here so the dispatcher's invariants don't rest on
 		// the caller.
@@ -244,49 +340,35 @@ func (c *Coordinator) Dispatch(ctx context.Context, job service.DispatchJob, emi
 		for _, s := range rl.Seeds {
 			claimed[s] = true
 		}
-		l := &lease{id: rl.ID, d: d, seeds: rl.Seeds, attempt: rl.Attempt, recovered: true}
+		g := &seedGroup{seeds: rl.Seeds, need: 1, replicas: 1,
+			holding: make(map[string]int), voted: make(map[string]bool)}
+		l := &lease{id: rl.ID, d: d, seeds: rl.Seeds, attempt: rl.Attempt, group: g, recovered: true}
 		if rl.Node != "" {
 			l.node = rl.Node
 			l.active = true
+			g.holding[rl.Node] = 1
 		}
 		adopted = append(adopted, l)
-		if idx, ok := leaseIndex(job.ID, rl.ID); ok && idx > maxIdx {
-			maxIdx = idx
-		}
 	}
-	var rest []uint64
 	for _, s := range job.Seeds {
 		if !claimed[s] {
-			rest = append(rest, s)
+			d.backlog = append(d.backlog, s)
 		}
 	}
-	ranges := splitSeeds(rest, c.cfg.LeaseSeeds)
-	// Fresh lease ids continue above the highest adopted index so ids stay
-	// unique across the restart.
-	leases := make([]*lease, len(ranges))
-	for i, seeds := range ranges {
-		leases[i] = &lease{id: leaseID(job.ID, maxIdx+1+i), d: d, seeds: seeds}
-		for _, s := range seeds {
-			if bankedSet[s] {
-				// Structurally unreachable (banked seeds are claimed); the
-				// counter exists so a regression shows up in /metrics and the
-				// restart e2e, not in silently burned CPU.
-				c.redispatched.Add(1)
-			}
-		}
-	}
+	d.nextIdx = maxIdx + 1
 
 	c.mu.Lock()
 	now := time.Now()
 	for _, l := range adopted {
 		if l.active {
 			l.deadline = now.Add(c.cfg.LeaseTTL)
+			l.grantedAt = now
 		}
 		l.journaledAt = now
 	}
 	c.lt.install(adopted)
 	c.dispatches[job.ID] = d
-	c.lt.add(leases)
+	c.order = append(c.order, d)
 	for _, l := range adopted {
 		c.appendLeaseRec(service.LeaseGrant, l, nil)
 	}
@@ -300,16 +382,22 @@ func (c *Coordinator) Dispatch(ctx context.Context, job service.DispatchJob, emi
 	}
 	c.mu.Unlock()
 	if len(job.Banked) > 0 || len(adopted) > 0 {
-		c.logf("fleet: job %s dispatched: %d seeds in %d fresh leases (+%d banked results, %d adopted leases)",
-			job.ID, len(job.Seeds), len(leases), len(job.Banked), len(adopted))
+		c.logf("fleet: job %s dispatched: %d seeds (%d banked results, %d leases to adopt, %d on the backlog)",
+			job.ID, len(job.Seeds), len(job.Banked), len(adopted), len(d.backlog))
 	} else {
-		c.logf("fleet: job %s dispatched: %d seeds in %d leases", job.ID, len(job.Seeds), len(leases))
+		c.logf("fleet: job %s dispatched: %d seeds on the backlog", job.ID, len(job.Seeds))
 	}
 
 	defer func() {
 		c.mu.Lock()
 		c.lt.dropJob(d)
 		delete(c.dispatches, job.ID)
+		for i, od := range c.order {
+			if od == d {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
 		c.mu.Unlock()
 	}()
 
@@ -331,6 +419,100 @@ func (c *Coordinator) Dispatch(ctx context.Context, job service.DispatchJob, emi
 			}
 		}
 	}
+}
+
+// leaseSizeFor sizes the next range cut for a node: about a third of a
+// lease TTL of work at the node's measured seeds/sec, clamped to
+// [LeaseSeedsMin, LeaseSeedsMax]; nodes without a throughput history get
+// the fixed LeaseSeeds default. Caller holds c.mu.
+func (c *Coordinator) leaseSizeFor(nodeID string) int {
+	n := c.reg.nodes[nodeID]
+	if n == nil || n.rate <= 0 {
+		return c.cfg.LeaseSeeds
+	}
+	m := int(n.rate * (c.cfg.LeaseTTL / 3).Seconds())
+	if m < c.cfg.LeaseSeedsMin {
+		m = c.cfg.LeaseSeedsMin
+	}
+	if m > c.cfg.LeaseSeedsMax {
+		m = c.cfg.LeaseSeedsMax
+	}
+	return m
+}
+
+// sampleHit decides deterministically whether a seed range is quorum-
+// verified under VerifySample, hashing (fingerprint, first seed) so the
+// same job samples the same ranges on every coordinator.
+func (c *Coordinator) sampleHit(fingerprint string, seed0 uint64) bool {
+	if c.cfg.VerifySample >= 1 {
+		return true
+	}
+	h := sha256.New()
+	io.WriteString(h, fingerprint)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed0)
+	h.Write(b[:])
+	sum := h.Sum(nil)
+	v := binary.LittleEndian.Uint64(sum[:8])
+	return float64(v)/math.MaxUint64 < c.cfg.VerifySample
+}
+
+// grantLocked hands nodeID its next lease: the oldest eligible pending
+// lease, or a fresh range cut from the oldest backlog. Nil when no work is
+// available for this node. Caller holds c.mu.
+func (c *Coordinator) grantLocked(nodeID string, now time.Time) *lease {
+	deadline := now.Add(c.cfg.LeaseTTL)
+	for {
+		if l := c.lt.next(nodeID, deadline); l != nil {
+			l.grantedAt = now
+			return l
+		}
+		if !c.cutLocked(nodeID) {
+			return nil
+		}
+	}
+}
+
+// cutLocked cuts one seed range from the oldest dispatch with backlog into
+// lease replicas (k of them when the range samples into quorum
+// verification, one otherwise), reporting whether anything was cut. Caller
+// holds c.mu.
+func (c *Coordinator) cutLocked(nodeID string) bool {
+	for _, d := range c.order {
+		if d.done || len(d.backlog) == 0 {
+			continue
+		}
+		m := c.leaseSizeFor(nodeID)
+		if m > len(d.backlog) {
+			m = len(d.backlog)
+		}
+		seeds := d.backlog[:m:m]
+		d.backlog = d.backlog[m:]
+		for _, s := range seeds {
+			if d.bankedSet[s] {
+				// Structurally unreachable (banked seeds never reach the
+				// backlog); the counter exists so a regression shows up in
+				// /metrics and the restart e2e, not in silently burned CPU.
+				c.redispatched.Add(1)
+			}
+		}
+		need, replicas := 1, 1
+		if c.cfg.VerifySeeds >= 2 && c.sampleHit(d.job.Fingerprint, seeds[0]) {
+			replicas = c.cfg.VerifySeeds
+			need = replicas/2 + 1
+			d.merge.require(seeds, need)
+		}
+		g := &seedGroup{seeds: seeds, need: need, replicas: replicas,
+			holding: make(map[string]int), voted: make(map[string]bool)}
+		ls := make([]*lease, replicas)
+		for i := range ls {
+			ls[i] = &lease{id: leaseID(d.job.ID, d.nextIdx), d: d, seeds: seeds, group: g}
+			d.nextIdx++
+		}
+		c.lt.add(ls)
+		return true
+	}
+	return false
 }
 
 // fail marks a dispatch failed. Caller holds c.mu.
@@ -368,7 +550,8 @@ func (c *Coordinator) expiryLoop() {
 }
 
 // sweep is one expiry pass: dead nodes first (their leases re-queue
-// immediately, ahead of individual deadlines), then overdue leases.
+// immediately, ahead of individual deadlines), then overdue leases, then
+// straggler speculation.
 func (c *Coordinator) sweep(now time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -378,6 +561,46 @@ func (c *Coordinator) sweep(now time.Time) {
 		c.requeueAll(orphans, fmt.Sprintf("node %s died", n.id))
 	}
 	c.requeueAll(c.lt.expire(now), "lease deadline expired")
+	if c.cfg.SpeculateFactor > 0 {
+		c.speculateLocked(now)
+	}
+}
+
+// speculateLocked hedges stragglers: an active lease older than
+// SpeculateFactor × its expected duration (range size over the fleet's
+// median seeds/sec, floored at the poll interval) gets one speculative
+// replica for another node to race. First delivery wins; the loser is a
+// counted duplicate whose digest still scores a free reputation verdict.
+// Caller holds c.mu.
+func (c *Coordinator) speculateLocked(now time.Time) {
+	median := c.reg.medianRate()
+	if median <= 0 {
+		return
+	}
+	for _, l := range c.lt.byID {
+		if !l.active || l.speculative || l.speculated || l.group == nil || l.d.done {
+			continue
+		}
+		expected := time.Duration(float64(len(l.seeds)) / median * float64(time.Second))
+		if expected < c.cfg.PollInterval {
+			expected = c.cfg.PollInterval
+		}
+		if float64(now.Sub(l.grantedAt)) <= c.cfg.SpeculateFactor*float64(expected) {
+			continue
+		}
+		l.speculated = true
+		g := l.group
+		g.replicas++
+		clone := &lease{
+			id: leaseID(l.d.job.ID, l.d.nextIdx), d: l.d, seeds: l.seeds,
+			group: g, speculative: true, attempt: l.attempt,
+		}
+		l.d.nextIdx++
+		c.lt.add([]*lease{clone})
+		c.speculated.Add(1)
+		c.logf("fleet: lease %s on node %s is a straggler (%.1fs old, expected ~%.1fs), cut speculative replica %s",
+			l.id, l.node, now.Sub(l.grantedAt).Seconds(), expected.Seconds(), clone.id)
+	}
 }
 
 // requeueAll re-leases a batch, failing any job whose lease ran out of
@@ -396,8 +619,100 @@ func (c *Coordinator) requeueAll(ls []*lease, why string) {
 		}
 		c.releases.Add(1)
 		c.logf("fleet: re-leasing %s (attempt %d, %s)", l.id, l.attempt+1, why)
-		c.lt.requeue(l)
+		c.lt.requeue(l, true)
 		c.appendLeaseRec(service.LeaseRequeue, l, nil)
+	}
+}
+
+// quarantineLocked puts a node in quarantine: journal the event, stop
+// leasing to it, and re-queue its active leases without blame (the leases
+// did nothing wrong — their attempt counts stay). Caller holds c.mu.
+func (c *Coordinator) quarantineLocked(n *node, now time.Time, reason string) {
+	n.quarUntil = now.Add(c.cfg.Probation)
+	n.quarantines++
+	c.quarantines.Add(1)
+	if c.binding != nil {
+		c.binding.AppendLease(service.LeaseRecord{Op: service.LeaseQuarantine, Node: n.id, Reason: reason})
+	}
+	c.logf("fleet: node %s QUARANTINED for %s: %s", n.id, c.cfg.Probation, reason)
+	for _, l := range c.lt.activeOn(n.id) {
+		if l.d.done {
+			continue
+		}
+		c.logf("fleet: re-queueing %s (owner %s quarantined)", l.id, n.id)
+		c.lt.requeue(l, false)
+		c.appendLeaseRec(service.LeaseRequeue, l, nil)
+	}
+}
+
+// maybeQuarantineLocked quarantines n if its attestation-failure EWMA
+// crossed the threshold. Caller holds c.mu.
+func (c *Coordinator) maybeQuarantineLocked(n *node, now time.Time, reason string) {
+	if n.quarantined(now) || n.attFailEWMA < c.cfg.QuarantineThreshold {
+		return
+	}
+	c.quarantineLocked(n, now, reason)
+}
+
+// quarCheckLocked reports whether the node is currently quarantined,
+// absolving it first if probation has elapsed (halving — not zeroing — its
+// failure EWMA, so a repeat offender re-quarantines faster than a fresh
+// node). Caller holds c.mu.
+func (c *Coordinator) quarCheckLocked(n *node, now time.Time) bool {
+	if n.quarUntil.IsZero() {
+		return false
+	}
+	if now.Before(n.quarUntil) {
+		return true
+	}
+	n.quarUntil = time.Time{}
+	n.attFailEWMA /= 2
+	if c.binding != nil {
+		c.binding.AppendLease(service.LeaseRecord{Op: service.LeaseAbsolve, Node: n.id})
+	}
+	c.logf("fleet: node %s finished probation, absolved", n.id)
+	return false
+}
+
+// adoptQuarantineLocked re-applies journal-recovered quarantine once, on
+// the first wire contact after replay: quarantined nodes get a fresh
+// probation window from the restart (the journal records no clock) and a
+// failure EWMA at the threshold, so one more offense re-quarantines them.
+// Caller holds c.mu.
+func (c *Coordinator) adoptQuarantineLocked(now time.Time) {
+	if c.quarAdopted {
+		return
+	}
+	if c.binding == nil {
+		c.quarAdopted = true
+		return
+	}
+	c.quarAdopted = true
+	for id, reason := range c.binding.RecoveredQuarantine() {
+		n := c.reg.ensure(id, now)
+		n.quarUntil = now.Add(c.cfg.Probation)
+		if n.attFailEWMA < c.cfg.QuarantineThreshold {
+			n.attFailEWMA = c.cfg.QuarantineThreshold
+		}
+		c.logf("fleet: node %s quarantine re-adopted from the journal (%s)", id, reason)
+	}
+}
+
+// scoreVerdictsLocked folds quorum verdicts into node reputation,
+// quarantining nodes the majority outvoted. Caller holds c.mu.
+func (c *Coordinator) scoreVerdictsLocked(d *dispatch, verdicts []verdict, now time.Time) {
+	for _, v := range verdicts {
+		n := c.reg.ensure(v.node, now)
+		if v.agree {
+			c.agreements.Add(1)
+			n.recordAgree()
+			continue
+		}
+		c.disagreements.Add(1)
+		n.recordDisagree()
+		c.logf("fleet: node %s outvoted on seed %d of job %s (disagreements=%d, ewma=%.2f)",
+			v.node, v.seed, d.job.ID, n.disagree, n.attFailEWMA)
+		c.maybeQuarantineLocked(n, now, fmt.Sprintf("delivered a result for seed %d of job %s that the quorum rejected", v.seed, d.job.ID))
 	}
 }
 
@@ -410,8 +725,11 @@ func (c *Coordinator) Routes(mux *http.ServeMux) {
 // RoutesWith mounts the wire protocol with every fleet handler wrapped by
 // mw — how -chaos-spec scopes server-side fault injection to the fleet
 // endpoints without touching the job API. Nil mw mounts the handlers bare.
+// The shared-secret check sits inside mw: injected chaos hits the wire
+// before authentication, exactly like a real middlebox would.
 func (c *Coordinator) RoutesWith(mux *http.ServeMux, mw func(http.Handler) http.Handler) {
 	wrap := func(h http.HandlerFunc) http.Handler {
+		h = c.requireAuth(h)
 		if mw == nil {
 			return h
 		}
@@ -424,6 +742,33 @@ func (c *Coordinator) RoutesWith(mux *http.ServeMux, mw func(http.Handler) http.
 	mux.Handle("POST "+PathPoll, wrap(c.handlePoll))
 	mux.Handle("POST "+PathHeartbeat, wrap(c.handleHeartbeat))
 	mux.Handle("POST "+PathResult, wrap(c.handleResult))
+}
+
+// errUnauthorized is the 401 body for a missing or wrong fleet secret.
+var errUnauthorized = errors.New("fleet: missing or invalid " + AuthHeader + " signature")
+
+// requireAuth wraps a fleet handler with the shared-secret HMAC check when
+// Config.Secret is set: the body is read once, verified in constant time
+// against the AuthHeader tag, and replayed to the handler. No secret, no
+// check — the wrapper is the identity.
+func (c *Coordinator) requireAuth(h http.HandlerFunc) http.HandlerFunc {
+	if c.cfg.Secret == "" {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxWireBytes))
+		if err != nil {
+			writeWireError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !VerifyAuth(c.cfg.Secret, r.Header.Get(AuthHeader), data) {
+			c.authFailures.Add(1)
+			writeWireError(w, http.StatusUnauthorized, errUnauthorized)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(data))
+		h(w, r)
+	}
 }
 
 // errReplaying is the 503 body served while journal replay rebuilds lease
@@ -523,6 +868,9 @@ func writeWireError(w http.ResponseWriter, status int, err error) {
 // errUnknownNode is the 404 body workers key their re-registration on.
 var errUnknownNode = errors.New("fleet: unknown node, re-register")
 
+// errQuarantined is the 403 body for RPCs from a quarantined node.
+var errQuarantined = errors.New("fleet: node is quarantined")
+
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	data, ok := readBody(w, r)
 	if !ok {
@@ -561,14 +909,22 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	c.polls.Add(1)
 	now := time.Now()
 	c.mu.Lock()
+	c.adoptQuarantineLocked(now)
 	n := c.reg.touch(req.NodeID, now)
 	if n == nil {
 		c.mu.Unlock()
 		writeWireError(w, http.StatusNotFound, errUnknownNode)
 		return
 	}
-	l := c.lt.next(req.NodeID, now.Add(c.cfg.LeaseTTL))
 	var resp PollResponse
+	if c.quarCheckLocked(n, now) {
+		// A quarantined node keeps its liveness (touch above) but gets no
+		// work; it heals through this same path once probation elapses.
+		c.mu.Unlock()
+		writeWireJSON(w, resp)
+		return
+	}
+	l := c.grantLocked(req.NodeID, now)
 	if l != nil {
 		l.journaledAt = now
 		c.appendLeaseRec(service.LeaseGrant, l, nil)
@@ -601,6 +957,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	c.mu.Lock()
+	c.adoptQuarantineLocked(now)
 	n := c.reg.touch(req.NodeID, now)
 	if n == nil {
 		// A heartbeat carries enough to re-describe the node, so a
@@ -649,6 +1006,28 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 // spool redelivers after adoption ("not ready" keys ErrNotReady).
 var errAwaitingAdoption = errors.New("fleet: job not ready, lease adoption in progress")
 
+// deliveryFault validates a delivery's payload against its lease: the
+// results must cover exactly the leased seeds (DecodeResult already
+// rejected duplicates, so length plus membership implies exactness). A
+// violation is a node fault, not a job failure — honest workers echo the
+// lease's own seed list, so only corruption (caught earlier by checksums)
+// or a lying peer produces one.
+func deliveryFault(l *lease, req *ResultRequest) error {
+	if len(req.Results) != len(l.seeds) {
+		return fmt.Errorf("fleet: lease %s delivered %d results for %d leased seeds", l.id, len(req.Results), len(l.seeds))
+	}
+	in := make(map[uint64]bool, len(l.seeds))
+	for _, s := range l.seeds {
+		in[s] = true
+	}
+	for i := range req.Results {
+		if !in[req.Results[i].Seed] {
+			return fmt.Errorf("fleet: lease %s delivered a result for seed %d outside its range", l.id, req.Results[i].Seed)
+		}
+	}
+	return nil
+}
+
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	if c.notReady(w) {
 		return
@@ -664,13 +1043,23 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	c.mu.Lock()
+	c.adoptQuarantineLocked(now)
 	n := c.reg.touch(req.NodeID, now)
 	if n == nil {
 		c.mu.Unlock()
 		writeWireError(w, http.StatusNotFound, errUnknownNode)
 		return
 	}
-	l := c.lt.complete(req.LeaseID)
+	if c.quarCheckLocked(n, now) {
+		// Nothing a quarantined node says is admissible — not even as a
+		// quorum vote. Its spool will redeliver after probation, where the
+		// delivery lands as a late duplicate or a fresh vote.
+		c.quarRejected.Add(1)
+		c.mu.Unlock()
+		writeWireError(w, http.StatusForbidden, errQuarantined)
+		return
+	}
+	l := c.lt.get(req.LeaseID)
 	if l == nil || l.d.done {
 		if l == nil && c.awaitingAdoption(req.LeaseID) {
 			// The lease will exist again once the recovered job re-dispatches;
@@ -690,47 +1079,142 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	if req.Error != "" {
 		// Execution errors are deterministic functions of (config, seed) —
 		// re-leasing would fail identically on any node, so the job fails.
+		// (Known limitation: this trusts the reporter; a Byzantine worker can
+		// fail a job it holds a lease for. Quorum protects result integrity,
+		// not availability — see DESIGN.)
+		c.lt.complete(req.LeaseID)
 		c.fail(d, fmt.Errorf("fleet: lease %s failed on node %s: %s", l.id, req.NodeID, req.Error))
 		c.mu.Unlock()
 		writeWireJSON(w, ResultResponse{})
 		return
 	}
-	released, fresh, dups, mergeErr := d.merge.add(req.Results)
-	if mergeErr == nil && len(fresh) != len(l.seeds) && len(fresh)+dups != len(l.seeds) {
-		mergeErr = fmt.Errorf("fleet: lease %s delivered %d new results for %d leased seeds", l.id, len(fresh), len(l.seeds))
+	if fault := deliveryFault(l, req); fault != nil {
+		// The payload does not match the lease: a node fault. The lease stays
+		// live (its deadline will re-lease it to someone else), the node's
+		// reputation takes the hit.
+		c.nodeFaultLocked(n, now, fault)
+		c.mu.Unlock()
+		writeWireError(w, http.StatusBadRequest, fault)
+		return
 	}
+	// The coordinator attests every payload itself; a worker-claimed digest
+	// that disagrees with the payload it arrived with is a fault (this is
+	// what catches stale-fingerprint replays immediately — the claimed
+	// digests were computed over the wrong fingerprint).
+	digests := AttestAll(req.Results, d.job.Fingerprint, req.Build)
+	if len(req.Atts) == len(digests) {
+		for i := range digests {
+			if req.Atts[i] != digests[i] {
+				fault := fmt.Errorf("fleet: lease %s: node %s attested seed %d as %s but its payload digests to %s",
+					l.id, req.NodeID, req.Results[i].Seed, req.Atts[i], digests[i])
+				c.nodeFaultLocked(n, now, fault)
+				c.mu.Unlock()
+				writeWireError(w, http.StatusBadRequest, fault)
+				return
+			}
+		}
+	}
+	c.lt.complete(req.LeaseID)
+	g := l.group
+	if g != nil {
+		g.voted[req.NodeID] = true
+		g.delivered++
+	}
+	out, mergeErr := d.merge.add(req.NodeID, req.Results, digests)
 	if mergeErr != nil {
+		// deliveryFault checked membership, so this is an internal invariant
+		// violation, not peer input — fail loudly.
 		c.fail(d, mergeErr)
 		c.mu.Unlock()
 		writeWireJSON(w, ResultResponse{})
 		return
 	}
-	if len(fresh) > 0 {
+	c.scoreVerdictsLocked(d, out.verdicts, now)
+	if len(out.fresh) > 0 {
 		// Journal before acking: an acked delivery must survive a coordinator
 		// crash without recomputing, even while it sits in the merge ahead of
 		// the released prefix.
-		c.appendLeaseRec(service.LeaseResult, l, fresh)
+		c.appendLeaseRec(service.LeaseResult, l, out.fresh)
 	}
 	if l.recovered {
-		c.lateDeliveries.Add(int64(len(fresh)))
+		c.lateDeliveries.Add(int64(len(out.fresh)))
 	}
-	c.merged.Add(int64(len(fresh)))
-	c.duplicates.Add(int64(dups))
-	n.recordResult(len(fresh), now)
-	d.released = append(d.released, released...)
+	c.merged.Add(int64(len(out.fresh)))
+	c.duplicates.Add(int64(out.dups))
+	n.recordResult(len(req.Results), now)
+	if g != nil && !d.done {
+		c.settleGroupLocked(d, g, now)
+	}
+	d.released = append(d.released, out.released...)
 	if d.merge.done() {
 		d.done = true
 	}
-	if len(released) > 0 || d.done {
+	if len(out.released) > 0 || d.done {
 		d.wake()
 	}
 	c.mu.Unlock()
-	writeWireJSON(w, ResultResponse{Merged: len(fresh), Duplicates: dups})
+	writeWireJSON(w, ResultResponse{Merged: len(out.fresh), Duplicates: out.dups})
+}
+
+// nodeFaultLocked scores a delivery rejected before merging (out-of-lease
+// payload, digest self-check failure) against the node. Caller holds c.mu.
+func (c *Coordinator) nodeFaultLocked(n *node, now time.Time, fault error) {
+	c.attFailures.Add(1)
+	n.recordAttFail()
+	c.logf("fleet: delivery from node %s rejected: %v (att failures=%d, ewma=%.2f)", n.id, fault, n.attFails, n.attFailEWMA)
+	c.maybeQuarantineLocked(n, now, fault.Error())
+}
+
+// settleGroupLocked settles a replica group after a delivery: a fully
+// admitted range drops its leftover pending replicas, and a quorum range
+// whose replicas all delivered without reaching a majority escalates — one
+// extra replica per round, capped at MaxLeaseAttempts, then the job fails
+// loudly (a fleet that cannot agree must not guess). Caller holds c.mu.
+func (c *Coordinator) settleGroupLocked(d *dispatch, g *seedGroup, now time.Time) {
+	all := true
+	for _, s := range g.seeds {
+		if !d.merge.admitted(s) {
+			all = false
+			break
+		}
+	}
+	if all {
+		c.lt.dropGroupPending(g)
+		return
+	}
+	if g.need <= 1 || g.delivered < g.replicas {
+		return
+	}
+	if g.escalations+1 >= c.cfg.MaxLeaseAttempts || !c.anyEligibleLocked(g, now) {
+		c.fail(d, fmt.Errorf("fleet: quorum unresolved for seeds %d..%d of job %s: %d replicas delivered without %d matching attestations (mixed builds or multiple liars)",
+			g.seeds[0], g.seeds[len(g.seeds)-1], d.job.ID, g.replicas, g.need))
+		return
+	}
+	g.escalations++
+	g.replicas++
+	extra := &lease{id: leaseID(d.job.ID, d.nextIdx), d: d, seeds: g.seeds, group: g}
+	d.nextIdx++
+	c.lt.add([]*lease{extra})
+	c.escalations.Add(1)
+	c.logf("fleet: quorum split on seeds %d..%d of job %s, escalating with replica %s (%d/%d votes)",
+		g.seeds[0], g.seeds[len(g.seeds)-1], d.job.ID, extra.id, g.delivered, g.need)
+}
+
+// anyEligibleLocked reports whether any known alive, unquarantined node
+// could still vote on the group — escalating past that point would queue a
+// replica no one may take. Caller holds c.mu.
+func (c *Coordinator) anyEligibleLocked(g *seedGroup, now time.Time) bool {
+	for id, n := range c.reg.nodes {
+		if n.alive && !n.quarantined(now) && !g.voted[id] && g.holding[id] == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Nodes snapshots the registry (tests, introspection).
 func (c *Coordinator) Nodes() []NodeInfo {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.reg.snapshot()
+	return c.reg.snapshot(time.Now())
 }

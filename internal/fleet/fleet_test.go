@@ -1,9 +1,10 @@
 package fleet
 
-// Unit tests for the fleet's pure parts: seed splitting, the order-free
-// idempotent merge, the lease table's lease/renew/expire/requeue lifecycle,
-// registry liveness sweeps, and wire decode validation. The integration and
-// e2e tests cover the assembled coordinator/worker loops.
+// Unit tests for the fleet's pure parts: the order-free idempotent merge,
+// the lease table's lease/renew/expire/requeue lifecycle, registry liveness
+// sweeps, and wire decode validation. The integration and e2e tests cover
+// the assembled coordinator/worker loops; byzantine_test.go covers quorum,
+// attestation, reputation, and auth.
 
 import (
 	"encoding/json"
@@ -15,23 +16,6 @@ import (
 	"noisypull/internal/service"
 )
 
-func TestSplitSeeds(t *testing.T) {
-	seeds := []uint64{1, 2, 3, 4, 5, 6, 7}
-	got := splitSeeds(seeds, 3)
-	want := [][]uint64{{1, 2, 3}, {4, 5, 6}, {7}}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("splitSeeds = %v, want %v", got, want)
-	}
-	if got := splitSeeds(nil, 3); got != nil {
-		t.Fatalf("splitSeeds(nil) = %v, want nil", got)
-	}
-	// A non-positive chunk size degrades to per-seed leases, never an
-	// infinite loop.
-	if got := splitSeeds([]uint64{1, 2}, 0); len(got) != 2 {
-		t.Fatalf("splitSeeds(per=0) made %d chunks, want 2", len(got))
-	}
-}
-
 func sr(seed uint64) service.SeedResult {
 	return service.SeedResult{Seed: seed, Rounds: int(seed * 10), Converged: true}
 }
@@ -41,18 +25,19 @@ func TestMergeOrderFreeAndIdempotent(t *testing.T) {
 
 	// Out-of-order arrival: nothing releases until the prefix is closed,
 	// but both results are fresh to the merge.
-	rel, fresh, dups, err := m.add([]service.SeedResult{sr(9), sr(7)})
-	if err != nil || dups != 0 || len(rel) != 0 {
-		t.Fatalf("add out-of-order: rel=%v dups=%d err=%v", rel, dups, err)
+	out, err := m.add("wa", []service.SeedResult{sr(9), sr(7)}, nil)
+	if err != nil || out.dups != 0 || len(out.released) != 0 {
+		t.Fatalf("add out-of-order: rel=%v dups=%d err=%v", out.released, out.dups, err)
 	}
-	if len(fresh) != 2 || fresh[0].Seed != 9 || fresh[1].Seed != 7 {
-		t.Fatalf("fresh = %v, want seeds [9 7]", fresh)
+	if len(out.fresh) != 2 || out.fresh[0].Seed != 9 || out.fresh[1].Seed != 7 {
+		t.Fatalf("fresh = %v, want seeds [9 7]", out.fresh)
 	}
 	// The head seed arrives: the contiguous run 5,7,9 releases in order.
-	rel, _, _, err = m.add([]service.SeedResult{sr(5)})
+	out, err = m.add("wa", []service.SeedResult{sr(5)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rel := out.released
 	if want := []uint64{5, 7, 9}; len(rel) != 3 || rel[0].Seed != want[0] || rel[1].Seed != want[1] || rel[2].Seed != want[2] {
 		t.Fatalf("released %v, want seeds %v", rel, want)
 	}
@@ -65,22 +50,22 @@ func TestMergeOrderFreeAndIdempotent(t *testing.T) {
 
 	// Duplicate delivery (a re-leased range reporting twice) is discarded;
 	// only the new seed counts as fresh.
-	rel, fresh, dups, err = m.add([]service.SeedResult{sr(7), sr(11)})
-	if err != nil || dups != 1 {
-		t.Fatalf("duplicate add: dups=%d err=%v", dups, err)
+	out, err = m.add("wb", []service.SeedResult{sr(7), sr(11)}, nil)
+	if err != nil || out.dups != 1 {
+		t.Fatalf("duplicate add: dups=%d err=%v", out.dups, err)
 	}
-	if len(fresh) != 1 || fresh[0].Seed != 11 {
-		t.Fatalf("fresh = %v, want seeds [11]", fresh)
+	if len(out.fresh) != 1 || out.fresh[0].Seed != 11 {
+		t.Fatalf("fresh = %v, want seeds [11]", out.fresh)
 	}
-	if len(rel) != 1 || rel[0].Seed != 11 {
-		t.Fatalf("released %v, want [11]", rel)
+	if len(out.released) != 1 || out.released[0].Seed != 11 {
+		t.Fatalf("released %v, want [11]", out.released)
 	}
 	if !m.done() {
 		t.Fatal("merge not done after all seeds")
 	}
 
 	// A result for a foreign seed is a protocol violation, not a silent drop.
-	if _, _, _, err := m.add([]service.SeedResult{sr(42)}); err == nil {
+	if _, err := m.add("wa", []service.SeedResult{sr(42)}, nil); err == nil {
 		t.Fatal("foreign seed merged without error")
 	}
 }
@@ -124,7 +109,7 @@ func TestLeaseTableLifecycle(t *testing.T) {
 	if len(ex) != 1 || ex[0].id != "l-j-000" {
 		t.Fatalf("expire = %v", ex)
 	}
-	lt.requeue(ex[0])
+	lt.requeue(ex[0], true)
 	if ex[0].attempt != 1 || ex[0].active || ex[0].node != "" {
 		t.Fatalf("requeued lease = %+v", ex[0])
 	}
@@ -181,7 +166,7 @@ func TestRegistrySweep(t *testing.T) {
 		t.Fatal("touch(unknown) != nil")
 	}
 
-	snap := r.snapshot()
+	snap := r.snapshot(t0)
 	if len(snap) != 2 || snap[0].ID >= snap[1].ID {
 		t.Fatalf("snapshot not sorted: %v", snap)
 	}

@@ -9,6 +9,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"noisypull/internal/service"
@@ -34,6 +35,13 @@ func FuzzFleetWireDecode(f *testing.F) {
 		`{"node_id":"wa","lease_id":"l-j-000001-000","error":"boom"}`,
 		`{"node_id":"evil\"}injection","lease_id":"l-1"}`,
 		`{"node_id":"wa","lease_id":"l-1","results":[{"seed":1},{"seed":1}]}`,
+		// Attested deliveries: a good envelope, an att-count mismatch, a
+		// non-hex digest, a wrong-length digest, and an oversized build tag.
+		`{"node_id":"wa","lease_id":"l-1","build":"simd dev (go1.24)","results":[{"seed":1}],"atts":["0123456789abcdef"]}`,
+		`{"node_id":"wa","lease_id":"l-1","results":[{"seed":1},{"seed":2}],"atts":["0123456789abcdef"]}`,
+		`{"node_id":"wa","lease_id":"l-1","results":[{"seed":1}],"atts":["GHIJKLMNOPQRSTUV"]}`,
+		`{"node_id":"wa","lease_id":"l-1","results":[{"seed":1}],"atts":["0123"]}`,
+		`{"node_id":"wa","lease_id":"l-1","build":"` + strings.Repeat("x", 300) + `","results":[{"seed":1}]}`,
 		string(leaseJSON),
 	}
 	for _, s := range seeds {
@@ -60,6 +68,22 @@ func FuzzFleetWireDecode(f *testing.F) {
 		if req, err := DecodeResult(data); err == nil {
 			if req.Error == "" && len(req.Results) == 0 {
 				t.Fatal("DecodeResult accepted a delivery with neither results nor error")
+			}
+			// Attestation envelope invariants: atts, when present, are
+			// parallel to results and every digest is well-formed — the
+			// coordinator's self-check indexes atts by result position and
+			// compares digests verbatim, so a ragged or malformed envelope
+			// must never get that far.
+			if len(req.Atts) != 0 && len(req.Atts) != len(req.Results) {
+				t.Fatalf("DecodeResult accepted %d atts for %d results", len(req.Atts), len(req.Results))
+			}
+			for _, a := range req.Atts {
+				if validAttestation(a) != nil {
+					t.Fatalf("DecodeResult accepted malformed attestation %q", a)
+				}
+			}
+			if len(req.Build) > 256 {
+				t.Fatalf("DecodeResult accepted a %d-byte build tag", len(req.Build))
 			}
 		}
 		if wl, err := DecodeLease(data); err == nil {

@@ -24,12 +24,52 @@ type lease struct {
 	attempt  int
 	active   bool
 
+	// group ties replicas of the same seed range together for quorum
+	// verification and speculative re-execution; nil only in tests that
+	// build bare leases.
+	group *seedGroup
+	// grantedAt is when the current owner took the lease (straggler
+	// detection input).
+	grantedAt time.Time
+	// speculative marks a straggler-hedge copy: it must land on a node
+	// other than the one it hedges against.
+	speculative bool
+	// speculated marks a lease that already has a speculative copy in
+	// flight, so the sweep hedges each straggler at most once.
+	speculated bool
+
 	// recovered marks a lease re-adopted from the journal after a
 	// coordinator restart; its deliveries count as late deliveries.
 	recovered bool
 	// journaledAt is when the lease's state last hit the journal; heartbeat
 	// renewals re-journal at most once per TTL.
 	journaledAt time.Time
+}
+
+// seedGroup is the shared identity of every replica lease covering one seed
+// range. Unverified ranges have a single-member group (need 1); quorum
+// ranges (-verify-seeds=k) cut k replicas up front (need = k/2+1), and
+// speculation adds replicas later. The group is what enforces replica
+// distinctness: a node holding or having voted on the range is ineligible
+// for further replicas of it.
+type seedGroup struct {
+	seeds       []uint64
+	need        int            // agreeing votes required per seed (1 = first wins)
+	replicas    int            // replica leases cut so far (initial + escalations + speculative)
+	delivered   int            // replicas that delivered results
+	escalations int            // extra replicas cut because a full round of votes did not reach quorum
+	holding     map[string]int // node → live replicas of this range it holds
+	voted       map[string]bool // nodes that already delivered for this range
+}
+
+// eligible reports whether the node may take this lease: replicated ranges
+// (quorum or speculative) must spread across distinct nodes.
+func (l *lease) eligible(nodeID string) bool {
+	g := l.group
+	if g == nil || (g.need <= 1 && !l.speculative) {
+		return true
+	}
+	return g.holding[nodeID] == 0 && !g.voted[nodeID]
 }
 
 // leaseTable holds every live lease of every dispatched job: a FIFO pending
@@ -42,24 +82,6 @@ type leaseTable struct {
 
 func newLeaseTable() *leaseTable {
 	return &leaseTable{byID: make(map[string]*lease)}
-}
-
-// splitSeeds chunks a job's seed list into per-lease ranges of at most per
-// seeds, preserving order.
-func splitSeeds(seeds []uint64, per int) [][]uint64 {
-	if per <= 0 {
-		per = 1
-	}
-	var out [][]uint64
-	for len(seeds) > 0 {
-		n := per
-		if n > len(seeds) {
-			n = len(seeds)
-		}
-		out = append(out, seeds[:n])
-		seeds = seeds[n:]
-	}
-	return out
 }
 
 // add enqueues a dispatch's leases.
@@ -84,20 +106,31 @@ func (t *leaseTable) install(ls []*lease) {
 	}
 }
 
-// next pops the oldest pending lease and marks it active on the node with
-// the given deadline. Nil when no work is pending.
+// next pops the oldest pending lease the node is eligible for and marks it
+// active on the node with the given deadline. Nil when no eligible work is
+// pending (replicas of a range the node already holds or voted on are
+// skipped, not popped — they wait for a different node).
 func (t *leaseTable) next(nodeID string, deadline time.Time) *lease {
-	if len(t.pending) == 0 {
-		return nil
+	for i, l := range t.pending {
+		if !l.eligible(nodeID) {
+			continue
+		}
+		copy(t.pending[i:], t.pending[i+1:])
+		t.pending[len(t.pending)-1] = nil
+		t.pending = t.pending[:len(t.pending)-1]
+		l.node = nodeID
+		l.deadline = deadline
+		l.active = true
+		if g := l.group; g != nil {
+			g.holding[nodeID]++
+		}
+		return l
 	}
-	l := t.pending[0]
-	t.pending[0] = nil
-	t.pending = t.pending[1:]
-	l.node = nodeID
-	l.deadline = deadline
-	l.active = true
-	return l
+	return nil
 }
+
+// get looks a live lease up without removing it.
+func (t *leaseTable) get(id string) *lease { return t.byID[id] }
 
 // renew extends the deadlines of the listed leases where the reporting node
 // still owns them (returned as renewed, for lease journaling), and returns
@@ -129,14 +162,32 @@ func (t *leaseTable) complete(id string) *lease {
 	if !l.active {
 		t.unqueue(l)
 	}
+	l.releaseHold()
 	l.active = false
 	return l
 }
 
+// releaseHold drops the owning node's replica-hold on the lease's group.
+func (l *lease) releaseHold() {
+	if l.group == nil || l.node == "" {
+		return
+	}
+	if n := l.group.holding[l.node]; n > 1 {
+		l.group.holding[l.node] = n - 1
+	} else {
+		delete(l.group.holding, l.node)
+	}
+}
+
 // requeue puts an expired or orphaned active lease back on the pending
-// queue, bumping its attempt count.
-func (t *leaseTable) requeue(l *lease) {
-	l.attempt++
+// queue; bump counts it as a failed attempt (deadline expiry, node death),
+// while bump=false re-queues without blame (the owner was quarantined —
+// the lease did nothing wrong).
+func (t *leaseTable) requeue(l *lease, bump bool) {
+	if bump {
+		l.attempt++
+	}
+	l.releaseHold()
 	l.node = ""
 	l.active = false
 	l.deadline = time.Time{}
@@ -165,6 +216,19 @@ func (t *leaseTable) activeOn(nodeID string) []*lease {
 		}
 	}
 	return out
+}
+
+// dropGroupPending removes the group's still-pending replicas: every seed
+// in the range was admitted, so outstanding copies have nothing left to
+// prove. Active replicas are left to finish — their deliveries land as
+// duplicates and still score free reputation verdicts.
+func (t *leaseTable) dropGroupPending(g *seedGroup) {
+	for id, l := range t.byID {
+		if l.group == g && !l.active {
+			delete(t.byID, id)
+			t.unqueue(l)
+		}
+	}
 }
 
 // dropJob removes every lease of a dispatch (job finished, failed, or
@@ -201,7 +265,7 @@ func (t *leaseTable) counts() (pending, active int) {
 
 // leaseID builds the id of job jobID's i-th lease on a given attempt
 // generation. Re-leases keep their id (the range identity is stable), so
-// this is only called at dispatch time.
+// this is only called at lease-cut time.
 func leaseID(jobID string, i int) string {
 	return fmt.Sprintf("l-%s-%03d", jobID, i)
 }

@@ -19,23 +19,62 @@ import (
 // recovery. Merged-but-unreleased results beyond a gap are lost to a crash
 // and simply recomputed — determinism makes that free of observable effect.
 //
-// Duplicate results are discarded without comparison: per-seed results are
-// deterministic functions of (config, seed), so a duplicate is bit-identical
-// by construction (and the e2e kill test proves it end to end). A result for
-// a seed outside the job is an error — it means a buggy or hostile peer.
+// Trust model. Per-seed results are deterministic functions of
+// (config, seed), so any two *honest* nodes produce bit-identical results —
+// that is what makes duplicates discardable. A Byzantine node breaks the
+// premise: its delivery is well-formed but wrong. Seeds marked for quorum
+// verification (require) therefore collect attestation digests as votes,
+// keyed by node, and admit a payload only once `need` distinct nodes
+// delivered the same digest; every voter is then scored against the winning
+// digest (verdicts feed node reputation). Unverified seeds keep the fast
+// path — first delivery wins — but the winner's digest is remembered, so any
+// later duplicate with a digest still produces a free agreement check. A
+// result for a seed outside the job is an error — the coordinator validates
+// deliveries against the lease before calling add, so it can only mean an
+// internal invariant broke.
 type merge struct {
 	order    []uint64       // spec seed order
 	index    map[uint64]int // seed → position in order
 	got      []*service.SeedResult
 	next     int // first position not yet released
 	received int // distinct seeds merged so far
+
+	need    []int             // votes required to admit (0/1 = first delivery wins)
+	winner  []string          // admitted payload's digest ("" if admitted without one)
+	votes   []map[string]string            // node → digest, pre-admission (quorum seeds)
+	payload []map[string]service.SeedResult // digest → first payload carrying it
+}
+
+// verdict is one node's scored vote on one seed: whether its delivery agreed
+// with the payload the merge admitted. The coordinator folds verdicts into
+// node reputation.
+type verdict struct {
+	node  string
+	seed  uint64
+	agree bool
+}
+
+// mergeOut is what one add() call produced: the newly releasable in-order
+// run (possibly empty), the results that were new to the merge (what the
+// lease journal banks — released is a prefix-gated subset of the merge, not
+// of this batch), the number of duplicate/ignored deliveries, and the
+// reputation verdicts scored by this delivery.
+type mergeOut struct {
+	released []service.SeedResult
+	fresh    []service.SeedResult
+	dups     int
+	verdicts []verdict
 }
 
 func newMerge(seeds []uint64) *merge {
 	m := &merge{
-		order: seeds,
-		index: make(map[uint64]int, len(seeds)),
-		got:   make([]*service.SeedResult, len(seeds)),
+		order:   seeds,
+		index:   make(map[uint64]int, len(seeds)),
+		got:     make([]*service.SeedResult, len(seeds)),
+		need:    make([]int, len(seeds)),
+		winner:  make([]string, len(seeds)),
+		votes:   make([]map[string]string, len(seeds)),
+		payload: make([]map[string]service.SeedResult, len(seeds)),
 	}
 	for i, s := range seeds {
 		m.index[s] = i
@@ -43,30 +82,120 @@ func newMerge(seeds []uint64) *merge {
 	return m
 }
 
-// add folds a batch of per-seed results in, returning the newly releasable
-// in-order run (possibly empty), the results that were new to the merge
-// (what the lease journal banks — released is a prefix-gated subset of the
-// merge, not of this batch), and the number of duplicates ignored.
-func (m *merge) add(results []service.SeedResult) (released, fresh []service.SeedResult, dups int, err error) {
+// require marks seeds as quorum-verified: a payload is admitted only once
+// `need` distinct nodes delivered the same attestation digest for it.
+// Called at lease-cut time, before any delivery for the seed.
+func (m *merge) require(seeds []uint64, need int) {
+	for _, s := range seeds {
+		if pos, ok := m.index[s]; ok && m.got[pos] == nil && need > m.need[pos] {
+			m.need[pos] = need
+		}
+	}
+}
+
+// preload admits journal-banked results directly (no digest, no votes):
+// they were merged before a coordinator restart and must never be
+// recomputed or re-voted.
+func (m *merge) preload(results []service.SeedResult) (released, fresh []service.SeedResult, dups int, err error) {
+	out, err := m.add("", results, nil)
+	return out.released, out.fresh, out.dups, err
+}
+
+// admitted reports whether the seed's payload has been accepted (released
+// or awaiting its in-order release).
+func (m *merge) admitted(seed uint64) bool {
+	pos, ok := m.index[seed]
+	return ok && m.got[pos] != nil
+}
+
+// add folds one node's delivery in. digests, when non-nil, is parallel to
+// results and carries the coordinator-recomputed attestation digest of each
+// payload; nil means an unattested source (journal preload, a pre-attestation
+// worker) whose results can satisfy only unverified seeds.
+func (m *merge) add(node string, results []service.SeedResult, digests []string) (mergeOut, error) {
+	var out mergeOut
 	for i := range results {
 		r := &results[i]
 		pos, ok := m.index[r.Seed]
 		if !ok {
-			return released, fresh, dups, fmt.Errorf("fleet: result for seed %d, which is not part of the job", r.Seed)
+			return out, fmt.Errorf("fleet: result for seed %d, which is not part of the job", r.Seed)
+		}
+		digest := ""
+		if digests != nil {
+			digest = digests[i]
 		}
 		if m.got[pos] != nil {
-			dups++
+			// Already admitted: idempotent discard, plus a free agreement
+			// check when both sides have digests (late deliveries from
+			// re-leased or speculative copies score reputation at no cost).
+			out.dups++
+			if digest != "" && m.winner[pos] != "" {
+				out.verdicts = append(out.verdicts, verdict{node, r.Seed, digest == m.winner[pos]})
+			}
 			continue
 		}
-		m.got[pos] = r
-		m.received++
-		fresh = append(fresh, *r)
+		if m.need[pos] <= 1 {
+			// Unverified seed: first delivery wins. Journal preloads land
+			// here too — banking happens before require() marks quorum
+			// seeds, and require() skips anything already admitted.
+			m.admit(pos, *r, digest)
+			out.fresh = append(out.fresh, *r)
+			continue
+		}
+		// Quorum seed: record the vote, admit at `need` matching digests.
+		if digest == "" {
+			out.dups++ // unattested delivery cannot vote on a quorum seed
+			continue
+		}
+		votes := m.votes[pos]
+		if votes == nil {
+			votes = make(map[string]string)
+			m.votes[pos] = votes
+			m.payload[pos] = make(map[string]service.SeedResult)
+		}
+		if prev, voted := votes[node]; voted {
+			if prev == digest {
+				out.dups++ // honest redelivery (lost response, spool retry)
+			} else {
+				// A node contradicting its own earlier vote is disagreeing
+				// with someone — at least one of the two deliveries is wrong.
+				out.verdicts = append(out.verdicts, verdict{node, r.Seed, false})
+			}
+			continue
+		}
+		votes[node] = digest
+		if _, seen := m.payload[pos][digest]; !seen {
+			m.payload[pos][digest] = *r
+		}
+		n := 0
+		for _, d := range votes {
+			if d == digest {
+				n++
+			}
+		}
+		if n < m.need[pos] {
+			continue
+		}
+		win := m.payload[pos][digest]
+		m.admit(pos, win, digest)
+		out.fresh = append(out.fresh, win)
+		for voter, d := range votes {
+			out.verdicts = append(out.verdicts, verdict{voter, r.Seed, d == digest})
+		}
+		m.votes[pos], m.payload[pos] = nil, nil
 	}
 	for m.next < len(m.got) && m.got[m.next] != nil {
-		released = append(released, *m.got[m.next])
+		out.released = append(out.released, *m.got[m.next])
 		m.next++
 	}
-	return released, fresh, dups, nil
+	return out, nil
+}
+
+func (m *merge) admit(pos int, r service.SeedResult, digest string) {
+	stored := r
+	m.got[pos] = &stored
+	m.winner[pos] = digest
+	m.received++
 }
 
 // done reports whether every seed has been released.

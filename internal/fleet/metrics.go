@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"io"
+	"time"
 )
 
 // WriteMetrics emits the coordinator's fleet-level rollup in Prometheus
@@ -12,7 +13,7 @@ import (
 // diagnosable from one scrape.
 func (c *Coordinator) WriteMetrics(w io.Writer) error {
 	c.mu.Lock()
-	nodes := c.reg.snapshot()
+	nodes := c.reg.snapshot(time.Now())
 	pending, active := c.lt.counts()
 	jobs := len(c.dispatches)
 	c.mu.Unlock()
@@ -93,6 +94,57 @@ func (c *Coordinator) WriteMetrics(w io.Writer) error {
 	p("# HELP simd_fleet_lease_abandoned_total Leases abandoned at the attempt cap, failing their job.\n")
 	p("# TYPE simd_fleet_lease_abandoned_total counter\n")
 	p("simd_fleet_lease_abandoned_total %d\n", c.abandoned.Load())
+	quarantined := 0
+	for _, n := range nodes {
+		if n.Quarantined {
+			quarantined++
+		}
+	}
+	p("# HELP simd_fleet_nodes_quarantined Nodes currently refused leases over attestation failures or quorum disagreement.\n")
+	p("# TYPE simd_fleet_nodes_quarantined gauge\n")
+	p("simd_fleet_nodes_quarantined %d\n", quarantined)
+	p("# HELP simd_fleet_node_quarantined Per-node quarantine state (1 = currently quarantined).\n")
+	p("# TYPE simd_fleet_node_quarantined gauge\n")
+	for _, n := range nodes {
+		q := 0
+		if n.Quarantined {
+			q = 1
+		}
+		p("simd_fleet_node_quarantined{node=%q} %d\n", n.ID, q)
+	}
+	p("# HELP simd_fleet_node_att_fail_ewma Per-node attestation-failure EWMA (quarantine trips past the threshold).\n")
+	p("# TYPE simd_fleet_node_att_fail_ewma gauge\n")
+	for _, n := range nodes {
+		p("simd_fleet_node_att_fail_ewma{node=%q} %g\n", n.ID, n.AttFailEWMA)
+	}
+	p("# HELP simd_fleet_node_quorum_votes_total Per-node quorum votes by verdict.\n")
+	p("# TYPE simd_fleet_node_quorum_votes_total counter\n")
+	for _, n := range nodes {
+		p("simd_fleet_node_quorum_votes_total{node=%q,verdict=\"agree\"} %d\n", n.ID, n.Agreements)
+		p("simd_fleet_node_quorum_votes_total{node=%q,verdict=\"disagree\"} %d\n", n.ID, n.Disagreements)
+	}
+	p("# HELP simd_fleet_quorum_votes_total Quorum votes scored fleet-wide, by verdict.\n")
+	p("# TYPE simd_fleet_quorum_votes_total counter\n")
+	p("simd_fleet_quorum_votes_total{verdict=\"agree\"} %d\n", c.agreements.Load())
+	p("simd_fleet_quorum_votes_total{verdict=\"disagree\"} %d\n", c.disagreements.Load())
+	p("# HELP simd_fleet_quorum_escalations_total Extra quorum replicas cut after a full round of split votes.\n")
+	p("# TYPE simd_fleet_quorum_escalations_total counter\n")
+	p("simd_fleet_quorum_escalations_total %d\n", c.escalations.Load())
+	p("# HELP simd_fleet_attestation_failures_total Deliveries rejected before merging (digest self-check or out-of-lease payload).\n")
+	p("# TYPE simd_fleet_attestation_failures_total counter\n")
+	p("simd_fleet_attestation_failures_total %d\n", c.attFailures.Load())
+	p("# HELP simd_fleet_quarantines_total Node quarantine events.\n")
+	p("# TYPE simd_fleet_quarantines_total counter\n")
+	p("simd_fleet_quarantines_total %d\n", c.quarantines.Load())
+	p("# HELP simd_fleet_quarantine_rejected_total RPCs refused because the caller is quarantined.\n")
+	p("# TYPE simd_fleet_quarantine_rejected_total counter\n")
+	p("simd_fleet_quarantine_rejected_total %d\n", c.quarRejected.Load())
+	p("# HELP simd_fleet_auth_failures_total RPCs rejected by the shared-secret HMAC check.\n")
+	p("# TYPE simd_fleet_auth_failures_total counter\n")
+	p("simd_fleet_auth_failures_total %d\n", c.authFailures.Load())
+	p("# HELP simd_fleet_speculative_leases_total Speculative straggler replicas cut.\n")
+	p("# TYPE simd_fleet_speculative_leases_total counter\n")
+	p("simd_fleet_speculative_leases_total %d\n", c.speculated.Load())
 	return err
 }
 

@@ -25,6 +25,13 @@ type fakeBinding struct {
 	replayed bool
 	jobs     map[string]service.State
 	recs     []service.LeaseRecord
+	quar     map[string]string
+}
+
+func (b *fakeBinding) RecoveredQuarantine() map[string]string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.quar
 }
 
 func (b *fakeBinding) AppendLease(rec service.LeaseRecord) {
@@ -237,8 +244,17 @@ func TestResultDupStormIsIdempotent(t *testing.T) {
 	var rr RegisterResponse
 	postWire(t, ts.URL+PathRegister, RegisterRequest{NodeID: "wa"}, &rr)
 
-	// Leases are l-j-000007-00{0,1,2} covering {1,2},{3,4},{5,6}. Deliver
-	// tail-first, three times each, interleaved.
+	// Ranges are cut lazily: three polls cut and grant l-j-000007-00{0,1,2}
+	// covering {1,2},{3,4},{5,6}.
+	for i := 0; i < 3; i++ {
+		var pr PollResponse
+		postWire(t, ts.URL+PathPoll, PollRequest{NodeID: "wa"}, &pr)
+		if pr.Lease == nil {
+			t.Fatalf("poll %d granted no lease", i)
+		}
+	}
+
+	// Deliver tail-first, three times each, interleaved.
 	deliver := func(leaseID string, seeds ...uint64) {
 		req := ResultRequest{NodeID: "wa", LeaseID: leaseID}
 		for _, s := range seeds {
@@ -422,9 +438,9 @@ func TestLeaseAbandonNamesSeedRange(t *testing.T) {
 	// Walk the lease to its attempt cap directly (the e2e covers the timing
 	// path; this pins the message and bookkeeping).
 	c.mu.Lock()
-	l := c.lt.next("wa", time.Now().Add(-time.Second))
+	l := c.grantLocked("wa", time.Now())
 	c.requeueAll([]*lease{l}, "node wa died")
-	l = c.lt.next("wa", time.Now().Add(-time.Second))
+	l = c.grantLocked("wa", time.Now())
 	c.requeueAll([]*lease{l}, "lease deadline expired")
 	c.mu.Unlock()
 

@@ -176,10 +176,22 @@ type ResultRequest struct {
 	LeaseID string               `json:"lease_id"`
 	Error   string               `json:"error,omitempty"`
 	Results []service.SeedResult `json:"results,omitempty"`
+	// Build is the worker binary's buildinfo version, repeated on every
+	// delivery because attestation digests cover it: two nodes running
+	// different builds intentionally cannot vouch for each other's results
+	// in a quorum.
+	Build string `json:"build,omitempty"`
+	// Atts carries one attestation digest per entry of Results (same order):
+	// Attest(result, fingerprint, build). Empty means the worker predates
+	// attestation; when present its length must equal len(Results). The
+	// coordinator recomputes every digest from the payload itself — a claimed
+	// digest that does not match is an attestation fault, and the recomputed
+	// digests are what quorum verification compares across nodes.
+	Atts []string `json:"atts,omitempty"`
 	// Sum, when set, is an integrity checksum over the delivery (node, lease
-	// id, error, results): a corrupted-in-flight delivery is rejected with
-	// 400 instead of merging wrong numbers, and the worker's spool redelivers
-	// the intact original. Empty skips the check.
+	// id, error, results, build, attestations): a corrupted-in-flight
+	// delivery is rejected with 400 instead of merging wrong numbers, and the
+	// worker's spool redelivers the intact original. Empty skips the check.
 	Sum string `json:"sum,omitempty"`
 }
 
@@ -195,6 +207,10 @@ func (req *ResultRequest) checksum() string {
 	field(req.NodeID)
 	field(req.LeaseID)
 	field(req.Error)
+	field(req.Build)
+	for _, a := range req.Atts {
+		field(a)
+	}
 	enc := json.NewEncoder(h)
 	for i := range req.Results {
 		_ = enc.Encode(&req.Results[i])
@@ -353,6 +369,17 @@ func DecodeResult(data []byte) (*ResultRequest, error) {
 			return nil, fmt.Errorf("fleet: duplicate seed %d in result delivery", r.Seed)
 		}
 		seen[r.Seed] = struct{}{}
+	}
+	if len(req.Build) > 256 {
+		return nil, fmt.Errorf("fleet: build string longer than 256 bytes")
+	}
+	if len(req.Atts) != 0 && len(req.Atts) != len(req.Results) {
+		return nil, fmt.Errorf("fleet: %d attestations for %d results", len(req.Atts), len(req.Results))
+	}
+	for _, a := range req.Atts {
+		if err := validAttestation(a); err != nil {
+			return nil, err
+		}
 	}
 	if req.Sum != "" && req.Sum != req.checksum() {
 		return nil, fmt.Errorf("fleet: result delivery for lease %s failed its checksum (wire corruption)", req.LeaseID)

@@ -36,6 +36,16 @@ type WorkerConfig struct {
 	// Coordinator; the service client's retry/backoff applies to every
 	// fleet RPC, which are all idempotent by construction.
 	Client *service.Client
+	// Secret, when set, signs every coordinator RPC body with an HMAC-SHA256
+	// tag in the AuthHeader header; it must match the coordinator's
+	// -fleet-secret. Ignored when Client already carries a signer.
+	Secret string
+	// Lie, if non-nil, intercepts every computed lease result just before
+	// attestation — the Byzantine fault-injection hook behind -lie-spec. It
+	// may mutate the results and/or return a doctored fingerprint to attest
+	// under; the coordinator's quorum and digest self-checks exist to catch
+	// exactly what this hook produces.
+	Lie func(results []service.SeedResult, fingerprint string) ([]service.SeedResult, string)
 	// Logf, if non-nil, receives worker lifecycle lines.
 	Logf func(format string, args ...any)
 
@@ -102,6 +112,9 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	client := cfg.Client
 	if client == nil {
 		client = service.NewClient(cfg.Coordinator)
+	}
+	if cfg.Secret != "" && client.Sign == nil {
+		client.Sign = Signer(cfg.Secret)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Worker{
@@ -410,7 +423,14 @@ func (w *Worker) runLease(wl *WireLease) {
 	}
 	w.leasesDone.Add(1)
 	w.seedsDone.Add(int64(len(results)))
-	w.report(&ResultRequest{NodeID: w.NodeID(), LeaseID: wl.ID, Results: results})
+	req := &ResultRequest{NodeID: w.NodeID(), LeaseID: wl.ID, Results: results}
+	fp := wl.Fingerprint
+	if w.cfg.Lie != nil {
+		req.Results, fp = w.cfg.Lie(req.Results, fp)
+	}
+	req.Build = buildinfo.Version()
+	req.Atts = AttestAll(req.Results, fp, req.Build)
+	w.report(req)
 }
 
 // execute runs every seed of the lease. Engine/protocol panics are

@@ -31,6 +31,11 @@ type Client struct {
 	// jitter) up to retryMaxDelay, and a 429's Retry-After header overrides
 	// it. 0 means the default 100ms.
 	RetryBaseDelay time.Duration
+	// Sign, when set, is called with every outgoing request and its body
+	// (nil for body-less requests) before the request is sent — the hook by
+	// which subsystems stamp authentication headers (the fleet wire's
+	// shared-secret HMAC rides on it).
+	Sign func(req *http.Request, body []byte)
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -182,6 +187,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, data []byte, 
 	}
 	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Sign != nil {
+		c.Sign(req, data)
 	}
 	resp, err := c.hc().Do(req)
 	if err != nil {

@@ -66,6 +66,9 @@ type journalRecord struct {
 	Seeds   []uint64     `json:"seeds,omitempty"`
 	Attempt int          `json:"attempt,omitempty"`
 	Results []SeedResult `json:"results,omitempty"`
+	// Quorum is the agreeing-votes requirement a grant was cut under
+	// (omitted for unverified, need-1 leases).
+	Quorum int `json:"quorum,omitempty"`
 }
 
 // LeaseOp names one fleet lease-lifecycle event in the journal.
@@ -88,6 +91,15 @@ const (
 	LeaseRequeue LeaseOp = "requeue"
 	// LeaseAbandon: the lease hit its attempt cap and failed the job.
 	LeaseAbandon LeaseOp = "abandon"
+	// LeaseQuarantine: a node was quarantined (attestation failures or
+	// quorum disagreement). Not tied to a job or lease — Node and Reason
+	// (journaled in Error) are the payload — so quarantine survives a
+	// coordinator restart: a lying node does not get a second chance just
+	// because the coordinator rebooted.
+	LeaseQuarantine LeaseOp = "quarantine"
+	// LeaseAbsolve: a quarantined node finished probation and may take
+	// leases again.
+	LeaseAbsolve LeaseOp = "absolve"
 )
 
 // LeaseRecord is one lease-lifecycle event as handed to AppendLease by the
@@ -100,6 +112,10 @@ type LeaseRecord struct {
 	Seeds   []uint64
 	Attempt int
 	Results []SeedResult
+	// Quorum is the grant's agreeing-votes requirement (0/1 = unverified).
+	Quorum int
+	// Reason annotates quarantine records (journaled in the Error field).
+	Reason string
 }
 
 // RecoveredLease is an in-flight lease reconstructed by journal replay,
@@ -111,6 +127,7 @@ type RecoveredLease struct {
 	Node    string // "" = was pending at the crash
 	Seeds   []uint64
 	Attempt int
+	Quorum  int // agreeing-votes requirement the grant was cut under (0/1 = none)
 }
 
 // journal is the append side. A nil *journal is a valid no-op (the service
@@ -199,7 +216,8 @@ func (jl *journal) appendTerminal(id string, state State, errMsg string) {
 func (jl *journal) appendLease(rec *LeaseRecord) {
 	jl.append(&journalRecord{
 		T: recLease, Job: rec.Job, Op: rec.Op, Lease: rec.Lease,
-		Node: rec.Node, Seeds: rec.Seeds, Attempt: rec.Attempt, Results: rec.Results,
+		Node: rec.Node, Seeds: rec.Seeds, Attempt: rec.Attempt,
+		Results: rec.Results, Quorum: rec.Quorum, Error: rec.Reason,
 	}, false)
 }
 
@@ -251,6 +269,9 @@ type replayOutcome struct {
 	torn    bool
 	jobs    []*recoveredJob // journal (submission) order
 	maxID   uint64
+	// quarantined maps node id → reason for nodes whose quarantine record
+	// has no later absolve — fleet-level state, not tied to any job.
+	quarantined map[string]string
 }
 
 // ReplaySummary reports a journal replay to /readyz and the startup log.
@@ -337,6 +358,22 @@ func applyRecord(byID map[string]*recoveredJob, out *replayOutcome, rec *journal
 		}
 		return
 	}
+	// Fleet-level quarantine records carry no job id: handle them before
+	// the job lookup would drop them.
+	if rec.T == recLease && (rec.Op == LeaseQuarantine || rec.Op == LeaseAbsolve) {
+		if rec.Node == "" {
+			return
+		}
+		if rec.Op == LeaseQuarantine {
+			if out.quarantined == nil {
+				out.quarantined = make(map[string]string)
+			}
+			out.quarantined[rec.Node] = rec.Error
+		} else {
+			delete(out.quarantined, rec.Node)
+		}
+		return
+	}
 	j := byID[rec.Job]
 	if j == nil {
 		return
@@ -411,6 +448,7 @@ func applyLease(j *recoveredJob, rec *journalRecord) {
 		j.leases[rec.Lease] = &RecoveredLease{
 			ID: rec.Lease, Node: rec.Node,
 			Seeds: append([]uint64(nil), rec.Seeds...), Attempt: rec.Attempt,
+			Quorum: rec.Quorum,
 		}
 	case LeaseRenew:
 		if l := j.leases[rec.Lease]; l != nil && rec.Node != "" {
@@ -542,6 +580,7 @@ func (s *Service) recover() {
 	s.replayMu.Lock()
 	s.replay = summary
 	s.replayDone = true
+	s.fleetQuarantine = outcome.quarantined
 	s.replayMu.Unlock()
 	s.ready.Store(true)
 	s.logf("journal: replay done: %s", summary.String())

@@ -84,6 +84,38 @@ func TestLeaseJournalReleasedPrefixWinsOverBank(t *testing.T) {
 	}
 }
 
+// TestLeaseJournalQuarantineRoundTrip pins the job-less quarantine records:
+// replay must surface quarantined nodes (with their reasons) minus any later
+// absolve, so a lying node stays benched across a coordinator restart.
+func TestLeaseJournalQuarantineRoundTrip(t *testing.T) {
+	spec := quickSpec(1, 2)
+	path, _ := buildJournal(t, t.TempDir(), func(jl *journal) {
+		jl.appendSubmit("j-000001", &spec)
+		jl.appendLease(&LeaseRecord{Op: LeaseQuarantine, Node: "wl", Reason: "first offense"})
+		jl.appendLease(&LeaseRecord{Op: LeaseQuarantine, Node: "wx", Reason: "outvoted"})
+		jl.appendLease(&LeaseRecord{Op: LeaseAbsolve, Node: "wx"})
+		// Re-quarantine after an absolve, with a fresh reason: latest wins.
+		jl.appendLease(&LeaseRecord{Op: LeaseQuarantine, Node: "wl", Reason: "second offense"})
+		// Node-less records are malformed; replay must drop them, not panic.
+		jl.appendLease(&LeaseRecord{Op: LeaseQuarantine})
+		jl.appendLease(&LeaseRecord{Op: LeaseAbsolve})
+	})
+	out, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"wl": "second offense"}
+	if len(out.quarantined) != 1 || out.quarantined["wl"] != want["wl"] {
+		t.Fatalf("quarantined = %+v, want %+v", out.quarantined, want)
+	}
+	// The quarantine records are job-less by design: the recovered job's
+	// fleet state must be untouched by them.
+	banked, leases := out.jobs[0].fleetState()
+	if len(banked) != 0 || len(leases) != 0 {
+		t.Fatalf("quarantine records leaked into job state: banked=%v leases=%v", banked, leases)
+	}
+}
+
 // checkFleetInvariants asserts the properties a re-dispatch relies on, for
 // any journal content whatsoever.
 func checkFleetInvariants(t *testing.T, rj *recoveredJob) {
@@ -182,6 +214,9 @@ func FuzzLeaseJournalReplay(f *testing.F) {
 	f.Add([]byte(`{"t":"submit","job":"j-1","spec":{"n":10,"h":1,"sources1":1,"seeds":[1]}}` + "\n" +
 		`{"t":"lease","job":"j-1","op":"grant","lease":"l-j-1-000","seeds":[1,1,99]}` + "\n"))
 	f.Add([]byte(`{"t":"lease","job":"j-none","op":"result","lease":"x","results":[{"seed":5}]}` + "\n"))
+	f.Add([]byte(`{"t":"lease","op":"quarantine","node":"wl","error":"lied"}` + "\n" +
+		`{"t":"lease","op":"absolve","node":"wl"}` + "\n" +
+		`{"t":"lease","op":"quarantine"}` + "\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), journalFile)
 		if err := os.WriteFile(path, data, 0o644); err != nil {

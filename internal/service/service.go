@@ -161,6 +161,10 @@ type Service struct {
 	replayMu   sync.Mutex
 	replay     ReplaySummary
 	replayDone bool
+	// fleetQuarantine holds node quarantine reconstructed by journal replay
+	// (node id → reason), for the fleet coordinator to re-adopt. Written
+	// once by recover, under replayMu.
+	fleetQuarantine map[string]string
 
 	metrics metrics
 }
@@ -241,6 +245,23 @@ func (s *Service) Replayed() bool {
 // calls it through its Binding; without a journal it is a no-op.
 func (s *Service) AppendLease(rec LeaseRecord) {
 	s.journal.appendLease(&rec)
+}
+
+// RecoveredQuarantine returns the node quarantine reconstructed by journal
+// replay (node id → reason), nil before replay finishes or without a
+// journal. The fleet coordinator re-adopts it so a quarantined node does
+// not regain leases just because the coordinator restarted.
+func (s *Service) RecoveredQuarantine() map[string]string {
+	s.replayMu.Lock()
+	defer s.replayMu.Unlock()
+	if len(s.fleetQuarantine) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s.fleetQuarantine))
+	for k, v := range s.fleetQuarantine {
+		out[k] = v
+	}
+	return out
 }
 
 // JobState reports a job's current state by id.
